@@ -1,0 +1,453 @@
+//! Trace post-processing: the paper's toolchain analyses.
+//!
+//! * [`sharing_degree`] — Table 1's %SHR: the fraction of an accelerator's
+//!   blocks that at least one *other* accelerator also touches;
+//! * [`op_mix`] — Table 1's %INT/%FP/%LD/%ST operation breakdown;
+//! * [`dma_windows`] — Section 4's oracle DMA: segment a phase into
+//!   scratchpad-sized execution windows, DMA-in exactly the blocks read
+//!   before written, DMA-out exactly the dirty blocks;
+//! * [`forward_pairs`] — Section 3.2's FUSION-Dx identification of
+//!   producer→consumer stores (the paper post-processes the trace the same
+//!   way).
+
+use std::collections::{HashMap, HashSet};
+
+use fusion_types::{AxcId, BlockAddr};
+
+use crate::trace::{Phase, Workload};
+
+/// Per-function operation mix (percentages, as in Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpMix {
+    /// % integer operations.
+    pub int_pct: f64,
+    /// % floating-point operations.
+    pub fp_pct: f64,
+    /// % loads.
+    pub ld_pct: f64,
+    /// % stores.
+    pub st_pct: f64,
+}
+
+/// Computes the Table 1 operation breakdown for one function (all phases
+/// with `name` merged).
+pub fn op_mix(workload: &Workload, name: &str) -> OpMix {
+    let mut int_ops = 0u64;
+    let mut fp_ops = 0u64;
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    for p in workload.phases.iter().filter(|p| p.name == name) {
+        int_ops += p.ops.int_ops;
+        fp_ops += p.ops.fp_ops;
+        loads += p.loads();
+        stores += p.stores();
+    }
+    let total = (int_ops + fp_ops + loads + stores).max(1) as f64;
+    OpMix {
+        int_pct: 100.0 * int_ops as f64 / total,
+        fp_pct: 100.0 * fp_ops as f64 / total,
+        ld_pct: 100.0 * loads as f64 / total,
+        st_pct: 100.0 * stores as f64 / total,
+    }
+}
+
+fn blocks_of_function(workload: &Workload, name: &str) -> HashSet<BlockAddr> {
+    workload
+        .phases
+        .iter()
+        .filter(|p| p.name == name && !p.unit.is_host())
+        .flat_map(|p| p.refs.iter().map(|r| r.block()))
+        .collect()
+}
+
+/// Table 1 %SHR: the fraction of cache blocks accessed by function `name`
+/// that are also accessed by at least one other *accelerated* function.
+pub fn sharing_degree(workload: &Workload, name: &str) -> f64 {
+    let mine = blocks_of_function(workload, name);
+    if mine.is_empty() {
+        return 0.0;
+    }
+    let others: HashSet<BlockAddr> = workload
+        .functions()
+        .into_iter()
+        .filter(|f| *f != name)
+        .map(|f| f.to_owned())
+        .flat_map(|f| blocks_of_function(workload, &f))
+        .collect();
+    let shared = mine.intersection(&others).count();
+    100.0 * shared as f64 / mine.len() as f64
+}
+
+/// One oracle-DMA execution window (Section 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmaWindow {
+    /// Blocks the DMA engine stages before the window runs (read data).
+    pub dma_in: Vec<BlockAddr>,
+    /// Dirty blocks the DMA engine writes back after the window.
+    pub dma_out: Vec<BlockAddr>,
+    /// Half-open range of the phase's reference indices covered.
+    pub ref_range: (usize, usize),
+}
+
+impl DmaWindow {
+    /// Total blocks moved in + out.
+    pub fn blocks_moved(&self) -> usize {
+        self.dma_in.len() + self.dma_out.len()
+    }
+}
+
+/// Segments `phase` into windows that fit a scratchpad of
+/// `capacity_blocks`, computing each window's oracle DMA transfers.
+///
+/// The oracle (paper Section 4) stages only blocks whose first access in
+/// the window is a read, and writes back only blocks dirtied in the window.
+///
+/// # Panics
+///
+/// Panics if `capacity_blocks` is zero.
+pub fn dma_windows(phase: &Phase, capacity_blocks: usize) -> Vec<DmaWindow> {
+    assert!(capacity_blocks > 0, "scratchpad must hold at least a block");
+    let mut windows = Vec::new();
+    let mut resident: HashMap<BlockAddr, bool> = HashMap::new(); // -> dirty
+    let mut first_is_read: HashMap<BlockAddr, bool> = HashMap::new();
+    let mut window_start = 0usize;
+
+    let mut close = |resident: &mut HashMap<BlockAddr, bool>,
+                     first_is_read: &mut HashMap<BlockAddr, bool>,
+                     range: (usize, usize)| {
+        if range.0 == range.1 {
+            return;
+        }
+        let mut dma_in: Vec<BlockAddr> = first_is_read
+            .iter()
+            .filter_map(|(b, is_read)| is_read.then_some(*b))
+            .collect();
+        let mut dma_out: Vec<BlockAddr> = resident
+            .iter()
+            .filter_map(|(b, dirty)| dirty.then_some(*b))
+            .collect();
+        dma_in.sort_unstable();
+        dma_out.sort_unstable();
+        resident.clear();
+        first_is_read.clear();
+        windows.push(DmaWindow {
+            dma_in,
+            dma_out,
+            ref_range: range,
+        });
+    };
+
+    for (i, r) in phase.refs.iter().enumerate() {
+        let b = r.block();
+        if !resident.contains_key(&b) && resident.len() >= capacity_blocks {
+            close(&mut resident, &mut first_is_read, (window_start, i));
+            window_start = i;
+        }
+        let dirty = resident.entry(b).or_insert(false);
+        if r.kind.is_write() {
+            *dirty = true;
+        }
+        first_is_read.entry(b).or_insert(!r.kind.is_write());
+    }
+    close(
+        &mut resident,
+        &mut first_is_read,
+        (window_start, phase.refs.len()),
+    );
+    windows
+}
+
+/// A producer→consumer forwarding opportunity identified in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForwardPair {
+    /// The shared block.
+    pub block: BlockAddr,
+    /// Writer whose self-downgrade should forward the data.
+    pub producer: AxcId,
+    /// Reader that consumes the data next.
+    pub consumer: AxcId,
+    /// `true` when the producer streams through the block in one narrow
+    /// window of its phase: a later capacity self-eviction can forward the
+    /// data immediately without stalling the producer.
+    pub streaming: bool,
+    /// Index (into [`Workload::phases`]) of the producing invocation: the
+    /// rule is armed only while that phase runs, so an earlier invocation
+    /// of the same function does not forward prematurely.
+    pub producer_phase: usize,
+    /// Index of the consuming invocation. Forwarded leases are short, so
+    /// only consumers that run soon after the producer can use the data.
+    pub consumer_phase: usize,
+}
+
+/// Identifies the stores that benefit from FUSION-Dx write forwarding: a
+/// block written by accelerator A in one phase whose **next** tile access
+/// is a read by a different accelerator B, limited to blocks the consumer
+/// touches among its first `consumer_window` distinct blocks — data the
+/// consumer reads later than that is evicted from its L0X (by its own
+/// streaming) before it can be consumed, so forwarding it would only
+/// pollute the cache. Pass the consumer L0X capacity in blocks.
+pub fn forward_pairs_windowed(workload: &Workload, consumer_window: usize) -> Vec<ForwardPair> {
+    // Per-block, phase-granular access summary in program order.
+    #[derive(Clone, Copy)]
+    struct Touch {
+        axc: Option<AxcId>, // None = host
+        wrote: bool,
+        read_first: bool,
+        first_ref: usize,
+        last_ref: usize,
+        phase_len: usize,
+        /// Rank of this block among the phase's distinct blocks (0 = the
+        /// first block the phase touches).
+        touch_rank: usize,
+        phase_idx: usize,
+    }
+    let mut timeline: HashMap<BlockAddr, Vec<Touch>> = HashMap::new();
+    for (phase_idx, p) in workload.phases.iter().enumerate() {
+        let axc = p.unit.axc();
+        let mut seen: HashMap<BlockAddr, Touch> = HashMap::new();
+        let mut order: Vec<BlockAddr> = Vec::new();
+        for (i, r) in p.refs.iter().enumerate() {
+            let b = r.block();
+            match seen.get_mut(&b) {
+                Some(t) => {
+                    t.wrote |= r.kind.is_write();
+                    t.last_ref = i;
+                }
+                None => {
+                    seen.insert(
+                        b,
+                        Touch {
+                            axc,
+                            wrote: r.kind.is_write(),
+                            read_first: !r.kind.is_write(),
+                            first_ref: i,
+                            last_ref: i,
+                            phase_len: p.refs.len(),
+                            touch_rank: order.len(),
+                            phase_idx,
+                        },
+                    );
+                    order.push(b);
+                }
+            }
+        }
+        for b in order {
+            timeline.entry(b).or_default().push(seen[&b]);
+        }
+    }
+
+    let mut pairs = Vec::new();
+    for (&block, touches) in &timeline {
+        for w in touches.windows(2) {
+            let (prev, next) = (w[0], w[1]);
+            if let (Some(producer), Some(consumer)) = (prev.axc, next.axc) {
+                if prev.wrote
+                    && producer != consumer
+                    && next.read_first
+                    && next.touch_rank < consumer_window
+                {
+                    // Streaming: the producer's touches to this block span
+                    // a narrow window of its phase, so once the block
+                    // leaves the L0X the producer is done with it.
+                    let span = prev.last_ref - prev.first_ref;
+                    let streaming = span < (prev.phase_len / 4).max(1);
+                    pairs.push(ForwardPair {
+                        block,
+                        producer,
+                        consumer,
+                        streaming,
+                        producer_phase: prev.phase_idx,
+                        consumer_phase: next.phase_idx,
+                    });
+                }
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|p| (p.block, p.producer_phase, p.consumer.value()));
+    pairs.dedup_by_key(|p| (p.block, p.producer_phase, p.consumer));
+    pairs
+}
+
+/// [`forward_pairs_windowed`] with an unbounded consumer window: every
+/// producer→consumer opportunity in the trace.
+pub fn forward_pairs(workload: &Workload) -> Vec<ForwardPair> {
+    forward_pairs_windowed(workload, usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MemRef, OpCounts, Workload};
+    use fusion_types::ids::ExecUnit;
+    use fusion_types::{AccessKind, Pid, VirtAddr};
+
+    fn r(block: u64, kind: AccessKind) -> MemRef {
+        MemRef {
+            addr: VirtAddr::new(block * 64),
+            size: 4,
+            kind,
+            gap: 0,
+        }
+    }
+
+    fn phase(name: &str, axc: u16, refs: Vec<MemRef>) -> Phase {
+        Phase {
+            name: name.into(),
+            unit: ExecUnit::Axc(AxcId::new(axc)),
+            refs,
+            ops: OpCounts {
+                int_ops: 10,
+                fp_ops: 0,
+            },
+            mlp: 2,
+            lease: 500,
+        }
+    }
+
+    fn workload(phases: Vec<Phase>) -> Workload {
+        Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases,
+        }
+    }
+
+    #[test]
+    fn op_mix_percentages_sum_to_100() {
+        let wl = workload(vec![phase(
+            "f",
+            0,
+            vec![r(0, AccessKind::Load), r(1, AccessKind::Store)],
+        )]);
+        let m = op_mix(&wl, "f");
+        let sum = m.int_pct + m.fp_pct + m.ld_pct + m.st_pct;
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(m.ld_pct > 0.0 && m.st_pct > 0.0 && m.int_pct > 0.0);
+    }
+
+    #[test]
+    fn sharing_degree_counts_cross_function_blocks() {
+        let wl = workload(vec![
+            phase(
+                "a",
+                0,
+                vec![r(0, AccessKind::Store), r(1, AccessKind::Store)],
+            ),
+            phase("b", 1, vec![r(1, AccessKind::Load), r(2, AccessKind::Load)]),
+        ]);
+        assert!((sharing_degree(&wl, "a") - 50.0).abs() < 1e-9);
+        assert!((sharing_degree(&wl, "b") - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_degree_no_other_functions_is_zero() {
+        let wl = workload(vec![phase("a", 0, vec![r(0, AccessKind::Load)])]);
+        assert_eq!(sharing_degree(&wl, "a"), 0.0);
+        assert_eq!(sharing_degree(&wl, "missing"), 0.0);
+    }
+
+    #[test]
+    fn dma_windows_split_on_capacity() {
+        // Touch 4 distinct blocks with a 2-block scratchpad: 2 windows.
+        let p = phase(
+            "f",
+            0,
+            vec![
+                r(0, AccessKind::Load),
+                r(1, AccessKind::Store),
+                r(2, AccessKind::Load),
+                r(3, AccessKind::Load),
+            ],
+        );
+        let ws = dma_windows(&p, 2);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].ref_range, (0, 2));
+        assert_eq!(ws[0].dma_in, vec![BlockAddr::from_index(0)]);
+        assert_eq!(ws[0].dma_out, vec![BlockAddr::from_index(1)]);
+        assert_eq!(ws[1].dma_in.len(), 2);
+        assert!(ws[1].dma_out.is_empty());
+    }
+
+    #[test]
+    fn dma_oracle_skips_write_first_blocks() {
+        // Block written before read: not staged (the oracle only DMAs in
+        // read data).
+        let p = phase(
+            "f",
+            0,
+            vec![r(0, AccessKind::Store), r(0, AccessKind::Load)],
+        );
+        let ws = dma_windows(&p, 4);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].dma_in.is_empty());
+        assert_eq!(ws[0].dma_out, vec![BlockAddr::from_index(0)]);
+    }
+
+    #[test]
+    fn dma_windows_empty_phase() {
+        let p = phase("f", 0, vec![]);
+        assert!(dma_windows(&p, 4).is_empty());
+    }
+
+    #[test]
+    fn forward_pairs_finds_producer_consumer() {
+        let wl = workload(vec![
+            phase("p", 0, vec![r(7, AccessKind::Store)]),
+            phase("c", 1, vec![r(7, AccessKind::Load)]),
+        ]);
+        let pairs = forward_pairs(&wl);
+        assert_eq!(
+            pairs,
+            vec![ForwardPair {
+                block: BlockAddr::from_index(7),
+                producer: AxcId::new(0),
+                consumer: AxcId::new(1),
+                streaming: true,
+                producer_phase: 0,
+                consumer_phase: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn forward_pairs_skips_write_first_consumers_and_host() {
+        let mut host_phase = phase("h", 0, vec![r(7, AccessKind::Load)]);
+        host_phase.unit = ExecUnit::Host;
+        let wl = workload(vec![
+            phase(
+                "p",
+                0,
+                vec![r(7, AccessKind::Store), r(8, AccessKind::Store)],
+            ),
+            // Consumer overwrites block 8 before reading: no forward.
+            phase(
+                "c",
+                1,
+                vec![r(8, AccessKind::Store), r(8, AccessKind::Load)],
+            ),
+            host_phase, // host reads block 7: no tile forward
+        ]);
+        assert!(forward_pairs(&wl).is_empty());
+    }
+
+    #[test]
+    fn forward_pairs_chain_across_three_steps() {
+        let wl = workload(vec![
+            phase("s1", 0, vec![r(3, AccessKind::Store)]),
+            phase(
+                "s2",
+                1,
+                vec![r(3, AccessKind::Load), r(3, AccessKind::Store)],
+            ),
+            phase("s3", 2, vec![r(3, AccessKind::Load)]),
+        ]);
+        let pairs = forward_pairs(&wl);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs
+            .iter()
+            .any(|p| p.producer == AxcId::new(0) && p.consumer == AxcId::new(1)));
+        assert!(pairs
+            .iter()
+            .any(|p| p.producer == AxcId::new(1) && p.consumer == AxcId::new(2)));
+    }
+}

@@ -1,0 +1,246 @@
+//! The dynamic trace format.
+
+use fusion_types::ids::ExecUnit;
+use fusion_types::{AccessKind, BlockAddr, Bytes, Pid, VirtAddr};
+
+/// One dynamic memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Virtual address accessed.
+    pub addr: VirtAddr,
+    /// Access size in bytes (1–64).
+    pub size: u8,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Datapath compute cycles separating this reference from the previous
+    /// one (derived from the op counts between the two memory operations).
+    pub gap: u16,
+}
+
+impl MemRef {
+    /// Block containing this reference.
+    #[inline]
+    pub fn block(&self) -> BlockAddr {
+        BlockAddr::containing(self.addr)
+    }
+}
+
+/// Datapath operation counts of a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub fp_ops: u64,
+}
+
+impl OpCounts {
+    /// Total datapath operations.
+    pub fn total(&self) -> u64 {
+        self.int_ops + self.fp_ops
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            int_ops: self.int_ops + rhs.int_ops,
+            fp_ops: self.fp_ops + rhs.fp_ops,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+/// One accelerator (or host) invocation: a contiguous slice of the
+/// sequential program offloaded to one execution unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Function name ("step1", "imgBlur", ...).
+    pub name: String,
+    /// Executing unit: one AXC of the tile, or the host core.
+    pub unit: ExecUnit,
+    /// The dynamic reference stream.
+    pub refs: Vec<MemRef>,
+    /// Datapath op counts (drive compute timing and compute energy).
+    pub ops: OpCounts,
+    /// Memory-level parallelism: maximum outstanding references.
+    pub mlp: usize,
+    /// ACC lease length in cycles assigned to this function (Table 3 LT).
+    pub lease: u32,
+}
+
+impl Phase {
+    /// Number of loads in the phase.
+    pub fn loads(&self) -> u64 {
+        self.refs.iter().filter(|r| !r.kind.is_write()).count() as u64
+    }
+
+    /// Number of stores in the phase.
+    pub fn stores(&self) -> u64 {
+        self.refs.iter().filter(|r| r.kind.is_write()).count() as u64
+    }
+
+    /// Unique blocks touched.
+    pub fn footprint(&self) -> Bytes {
+        let mut blocks: Vec<u64> = self.refs.iter().map(|r| r.block().index()).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        Bytes::new(blocks.len() as u64 * fusion_types::CACHE_BLOCK_BYTES as u64)
+    }
+}
+
+/// A full offloaded program: the ordered phases the execution migrates
+/// through, plus identity metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Benchmark name ("FFT", "DISP.", ...).
+    pub name: String,
+    /// Owning process (PID tags in the tile caches).
+    pub pid: Pid,
+    /// Program-ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Distinct accelerator function names, in first-appearance order.
+    /// Index in this list equals the function's `AxcId`.
+    pub fn functions(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for p in &self.phases {
+            if p.unit.is_host() {
+                continue;
+            }
+            if !names.contains(&p.name.as_str()) {
+                names.push(&p.name);
+            }
+        }
+        names
+    }
+
+    /// Number of accelerators required (= distinct accelerated functions).
+    pub fn axc_count(&self) -> usize {
+        self.functions().len()
+    }
+
+    /// Total dynamic references across all phases.
+    pub fn total_refs(&self) -> u64 {
+        self.phases.iter().map(|p| p.refs.len() as u64).sum()
+    }
+
+    /// Unique working-set size across the whole program.
+    pub fn working_set(&self) -> Bytes {
+        let mut blocks: Vec<u64> = self
+            .phases
+            .iter()
+            .flat_map(|p| p.refs.iter().map(|r| r.block().index()))
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        Bytes::new(blocks.len() as u64 * fusion_types::CACHE_BLOCK_BYTES as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::AxcId;
+
+    fn r(addr: u64, kind: AccessKind) -> MemRef {
+        MemRef {
+            addr: VirtAddr::new(addr),
+            size: 4,
+            kind,
+            gap: 0,
+        }
+    }
+
+    fn phase(name: &str, unit: ExecUnit, refs: Vec<MemRef>) -> Phase {
+        Phase {
+            name: name.into(),
+            unit,
+            refs,
+            ops: OpCounts::default(),
+            mlp: 2,
+            lease: 500,
+        }
+    }
+
+    #[test]
+    fn phase_counts_loads_and_stores() {
+        let p = phase(
+            "f",
+            ExecUnit::Axc(AxcId::new(0)),
+            vec![
+                r(0, AccessKind::Load),
+                r(64, AccessKind::Store),
+                r(0, AccessKind::Load),
+            ],
+        );
+        assert_eq!(p.loads(), 2);
+        assert_eq!(p.stores(), 1);
+        assert_eq!(p.footprint().value(), 128);
+    }
+
+    #[test]
+    fn workload_functions_are_deduped_in_order() {
+        let wl = Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases: vec![
+                phase("a", ExecUnit::Axc(AxcId::new(0)), vec![]),
+                phase("b", ExecUnit::Axc(AxcId::new(1)), vec![]),
+                phase("a", ExecUnit::Axc(AxcId::new(0)), vec![]),
+                phase("host", ExecUnit::Host, vec![]),
+            ],
+        };
+        assert_eq!(wl.functions(), vec!["a", "b"]);
+        assert_eq!(wl.axc_count(), 2);
+    }
+
+    #[test]
+    fn working_set_dedups_blocks() {
+        let wl = Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases: vec![
+                phase(
+                    "a",
+                    ExecUnit::Axc(AxcId::new(0)),
+                    vec![r(0, AccessKind::Load), r(8, AccessKind::Load)],
+                ),
+                phase(
+                    "b",
+                    ExecUnit::Axc(AxcId::new(1)),
+                    vec![r(0, AccessKind::Store), r(128, AccessKind::Load)],
+                ),
+            ],
+        };
+        assert_eq!(wl.working_set().value(), 128);
+        assert_eq!(wl.total_refs(), 4);
+    }
+
+    #[test]
+    fn memref_block_mapping() {
+        let m = r(130, AccessKind::Load);
+        assert_eq!(m.block(), BlockAddr::from_index(2));
+    }
+
+    #[test]
+    fn op_counts_add() {
+        let a = OpCounts {
+            int_ops: 3,
+            fp_ops: 1,
+        };
+        let b = OpCounts {
+            int_ops: 2,
+            fp_ops: 4,
+        };
+        assert_eq!((a + b).total(), 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Microbenchmarks of the simulator substrates: cache lookups, MESI
+//! directory requests, ACC tile accesses, TLB translations and the event
+//! queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_coherence::acc::{AccAccess, AccTile, TileTiming};
+use fusion_coherence::{AgentId, DirectoryMesi, MesiReq};
+use fusion_mem::{ReplacementPolicy, SetAssocCache};
+use fusion_sim::EventQueue;
+use fusion_types::{
+    AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, PhysAddr, Pid, SystemConfig, VirtAddr,
+    WritePolicy,
+};
+use fusion_vm::{PageTable, Tlb};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("substrate/cache_lookup_hit", |b| {
+        let geom = CacheGeometry {
+            capacity_bytes: 65536,
+            ways: 8,
+            banks: 16,
+            latency: 3,
+        };
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        for i in 0..512 {
+            cache.insert(Pid(1), BlockAddr::from_index(i), 0, false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 512;
+            std::hint::black_box(cache.lookup(Pid(1), BlockAddr::from_index(i)).is_some())
+        })
+    });
+
+    c.bench_function("substrate/mesi_request", |b| {
+        let mut dir = DirectoryMesi::table2();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 64;
+            std::hint::black_box(dir.request(
+                AgentId::HOST_L1,
+                PhysAddr::new(i % (1 << 20)),
+                MesiReq::GetS,
+            ))
+        })
+    });
+
+    c.bench_function("substrate/acc_tile_access", |b| {
+        let cfg = SystemConfig::small();
+        let mut tile = AccTile::new(
+            2,
+            cfg.l0x,
+            cfg.l1x,
+            TileTiming::default(),
+            WritePolicy::WriteBack,
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let block = BlockAddr::from_index(t % 64);
+            match tile.axc_access(
+                AxcId::new(0),
+                Pid(1),
+                block,
+                AccessKind::Load,
+                Cycle::new(t),
+                500,
+            ) {
+                AccAccess::FillNeeded { request_at } => {
+                    std::hint::black_box(tile.complete_fill(
+                        AxcId::new(0),
+                        Pid(1),
+                        block,
+                        AccessKind::Load,
+                        request_at + 40,
+                        500,
+                    ));
+                }
+                other => {
+                    std::hint::black_box(other);
+                }
+            }
+        })
+    });
+
+    c.bench_function("substrate/tlb_translate", |b| {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 4096;
+            std::hint::black_box(tlb.translate(Pid(1), VirtAddr::new(i % (1 << 22)), &mut pt))
+        })
+    });
+
+    c.bench_function("substrate/event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.push(Cycle::new(t + 100), t);
+            if q.len() > 64 {
+                std::hint::black_box(q.pop());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 1 regeneration: trace analyses (op mix, sharing degree) over the
+//! benchmark suites.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_accel::analysis;
+use fusion_workloads::{all_suites, build_suite, Scale};
+
+fn bench(c: &mut Criterion) {
+    let workloads: Vec<_> = all_suites()
+        .into_iter()
+        .map(|id| build_suite(id, Scale::Tiny))
+        .collect();
+    c.bench_function("table1/op_mix_and_sharing_all_suites", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for wl in &workloads {
+                for f in wl.functions() {
+                    let m = analysis::op_mix(wl, f);
+                    acc += m.ld_pct + analysis::sharing_degree(wl, f);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    c.bench_function("table1/trace_generation_adpcm", |b| {
+        b.iter(|| std::hint::black_box(build_suite(fusion_workloads::SuiteId::Adpcm, Scale::Tiny)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

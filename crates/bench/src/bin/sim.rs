@@ -1,0 +1,348 @@
+//! Command-line simulator driver.
+//!
+//! ```text
+//! sim run    --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>
+//!            [--scale tiny|small|paper] [--large] [--write-through]
+//!            [--lease-renewal] [--prefetch <N>] [--json]
+//! sim trace  --suite <...> [--scale ...] --out <file>
+//! sim replay --system <...> --trace <file> [--json] [...]
+//! sim compare --suite <...> [--scale ...] [config flags]
+//! ```
+//!
+//! `trace` materializes a workload into a compact binary file (the paper's
+//! trace-driven workflow); `replay` runs any architecture over it without
+//! rebuilding the kernels.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use fusion_accel::{io as trace_io, Workload};
+use fusion_core::{run_system, SimResult, SystemKind};
+use fusion_energy::Component;
+use fusion_types::{SystemConfig, WritePolicy};
+use fusion_workloads::{build_suite, Scale, SuiteId};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sim run --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>\n          [--scale tiny|small|paper] [--large] [--write-through] [--lease-renewal] [--json]\n  sim trace --suite <...> [--scale ...] --out <file>\n  sim replay --system <...> --trace <file> [--json] [--large] [--write-through] [--lease-renewal]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Args {
+    values: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Option<Args> {
+        let mut values = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].strip_prefix("--")?.to_owned();
+            let flag = matches!(
+                key.as_str(),
+                "json" | "large" | "write-through" | "lease-renewal"
+            );
+            // "--prefetch <N>" takes a value; flags above do not.
+            if flag {
+                values.push((key, "true".into()));
+                i += 1;
+            } else {
+                let value = args.get(i + 1)?.clone();
+                values.push((key, value));
+                i += 2;
+            }
+        }
+        Some(Args { values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    match s {
+        "sc" | "scratch" => Some(SystemKind::Scratch),
+        "sh" | "shared" => Some(SystemKind::Shared),
+        "fu" | "fusion" => Some(SystemKind::Fusion),
+        "fu-dx" | "fusion-dx" | "dx" => Some(SystemKind::FusionDx),
+        _ => None,
+    }
+}
+
+fn parse_suite(s: &str) -> Option<SuiteId> {
+    match s {
+        "fft" => Some(SuiteId::Fft),
+        "disp" | "disparity" => Some(SuiteId::Disparity),
+        "track" | "tracking" => Some(SuiteId::Tracking),
+        "adpcm" => Some(SuiteId::Adpcm),
+        "susan" => Some(SuiteId::Susan),
+        "filt" | "filter" => Some(SuiteId::Filter),
+        "hist" | "histogram" => Some(SuiteId::Histogram),
+        _ => None,
+    }
+}
+
+fn parse_scale(s: Option<&str>) -> Option<Scale> {
+    match s {
+        None | Some("paper") => Some(Scale::Paper),
+        Some("tiny") => Some(Scale::Tiny),
+        Some("small") => Some(Scale::Small),
+        _ => None,
+    }
+}
+
+fn config_from(args: &Args) -> SystemConfig {
+    let mut cfg = if args.flag("large") {
+        SystemConfig::large()
+    } else {
+        SystemConfig::small()
+    };
+    if args.flag("write-through") {
+        cfg.write_policy = WritePolicy::WriteThrough;
+    }
+    cfg.lease_renewal = args.flag("lease-renewal");
+    cfg.l1x_prefetch_degree = match args.get("prefetch") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: --prefetch expects a number, got '{v}'; using 0");
+                0
+            }
+        },
+        None => 0,
+    };
+    cfg
+}
+
+/// Minimal JSON emitter for the result (no external JSON dependency).
+fn result_to_json(res: &SimResult) -> String {
+    let mut s = String::new();
+    let t = res.traffic();
+    write!(
+        s,
+        "{{\"system\":\"{}\",\"workload\":\"{}\",\"total_cycles\":{},\"dma_cycles\":{},\
+         \"cache_energy_pj\":{:.3},\"memory_energy_pj\":{:.3},\
+         \"ax_tlb_lookups\":{},\"ax_rmap_lookups\":{},\"host_forwards\":{},\
+         \"dma_blocks\":{},\"dma_transfers\":{},\"l2_accesses\":{},",
+        res.system,
+        res.workload,
+        res.total_cycles,
+        res.dma_cycles,
+        res.cache_energy().value(),
+        res.memory_energy().value(),
+        res.ax_tlb_lookups,
+        res.ax_rmap_lookups,
+        res.host_forwards,
+        res.dma_blocks,
+        res.dma_transfers,
+        res.l2_accesses,
+    )
+    .unwrap();
+    write!(
+        s,
+        "\"traffic\":{{\"msgs_axc_l1x\":{},\"data_axc_l1x\":{},\"msgs_l1x_l2\":{},\
+         \"data_l1x_l2\":{},\"fwds_l0x_l0x\":{},\"flits_axc_l1x\":{}}},",
+        t.msgs_axc_l1x,
+        t.data_axc_l1x,
+        t.msgs_l1x_l2,
+        t.data_l1x_l2,
+        t.fwds_l0x_l0x,
+        t.flits_axc_l1x.value(),
+    )
+    .unwrap();
+    s.push_str("\"energy\":{");
+    let mut first = true;
+    for (c, e, n) in res.energy.iter() {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        write!(
+            s,
+            "\"{}\":{{\"pj\":{:.3},\"events\":{}}}",
+            c.label(),
+            e.value(),
+            n
+        )
+        .unwrap();
+    }
+    s.push_str("},\"phases\":[");
+    for (i, p) in res.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(
+            s,
+            "{{\"name\":\"{}\",\"is_host\":{},\"cycles\":{},\"dma_cycles\":{},\
+             \"memory_pj\":{:.3},\"compute_pj\":{:.3}}}",
+            p.name,
+            p.is_host,
+            p.cycles,
+            p.dma_cycles,
+            p.memory_energy.value(),
+            p.compute_energy.value(),
+        )
+        .unwrap();
+    }
+    s.push_str("]}");
+    s
+}
+
+fn report(res: &SimResult, json: bool) {
+    if json {
+        println!("{}", result_to_json(res));
+        return;
+    }
+    println!(
+        "{} on {}: {} cycles ({:.0}% DMA), cache-hierarchy energy {}",
+        res.system,
+        res.workload,
+        res.total_cycles,
+        100.0 * res.dma_time_fraction(),
+        res.cache_energy(),
+    );
+    println!(
+        "  L2 accesses {}  AX-TLB {}  AX-RMAP {}  host forwards {}",
+        res.l2_accesses, res.ax_tlb_lookups, res.ax_rmap_lookups, res.host_forwards
+    );
+    if let Some(t) = res.tile {
+        println!(
+            "  tile: L0 hit {:.1}%  renewals {}  forwards {}  stalls {}",
+            100.0 * t.l0_hits as f64 / t.l0_accesses.max(1) as f64,
+            t.lease_renewals,
+            t.fwd_l0_to_l0,
+            t.stall_cycles
+        );
+    }
+    let compute = res.energy.energy(Component::Compute);
+    println!("  compute energy {compute}");
+    println!(
+        "  accelerator load-to-use: mean {:.1} cyc, max {} cyc over {} refs",
+        res.latency.mean(),
+        res.latency.max(),
+        res.latency.count()
+    );
+}
+
+fn run(system: SystemKind, wl: &Workload, args: &Args) {
+    let cfg = config_from(args);
+    let res = run_system(system, wl, &cfg);
+    report(&res, args.flag("json"));
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(rest) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "run" => {
+            let (Some(system), Some(suite)) = (
+                args.get("system").and_then(parse_system),
+                args.get("suite").and_then(parse_suite),
+            ) else {
+                return usage();
+            };
+            let Some(scale) = parse_scale(args.get("scale")) else {
+                return usage();
+            };
+            let wl = build_suite(suite, scale);
+            run(system, &wl, &args);
+        }
+        "trace" => {
+            let (Some(suite), Some(out)) =
+                (args.get("suite").and_then(parse_suite), args.get("out"))
+            else {
+                return usage();
+            };
+            let Some(scale) = parse_scale(args.get("scale")) else {
+                return usage();
+            };
+            let wl = build_suite(suite, scale);
+            let file = match std::fs::File::create(out) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = trace_io::write_workload(&wl, file) {
+                eprintln!("trace write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} phases, {} refs)",
+                out,
+                wl.phases.len(),
+                wl.total_refs()
+            );
+        }
+        "compare" => {
+            let Some(suite) = args.get("suite").and_then(parse_suite) else {
+                return usage();
+            };
+            let Some(scale) = parse_scale(args.get("scale")) else {
+                return usage();
+            };
+            let wl = build_suite(suite, scale);
+            let cfg = config_from(&args);
+            println!(
+                "{:<10} {:>12} {:>8} {:>14} {:>10} {:>10}",
+                "system", "cycles", "dma%", "cache energy", "L2 acc", "LtU mean"
+            );
+            for kind in [
+                SystemKind::Scratch,
+                SystemKind::Shared,
+                SystemKind::Fusion,
+                SystemKind::FusionDx,
+            ] {
+                let res = run_system(kind, &wl, &cfg);
+                println!(
+                    "{:<10} {:>12} {:>8.2} {:>14} {:>10} {:>10.1}",
+                    res.system,
+                    res.total_cycles,
+                    res.dma_time_fraction(),
+                    res.cache_energy().to_string(),
+                    res.l2_accesses,
+                    res.latency.mean(),
+                );
+            }
+        }
+        "replay" => {
+            let (Some(system), Some(path)) =
+                (args.get("system").and_then(parse_system), args.get("trace"))
+            else {
+                return usage();
+            };
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let wl = match trace_io::read_workload(file) {
+                Ok(wl) => wl,
+                Err(e) => {
+                    eprintln!("trace read failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run(system, &wl, &args);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,54 @@
+//! Regenerates every table and figure of the FUSION (ISCA 2015)
+//! evaluation.
+//!
+//! Usage: `tables [table1|table2|table3|fig6a|fig6b|fig6c|fig6d|table4|
+//! table5|fig7|table6|all] [tiny|small|paper]`
+
+use fusion_bench::*;
+use fusion_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Paper,
+    };
+
+    if which == "table2" {
+        print!("{}", render_table2());
+        return;
+    }
+
+    eprintln!("simulating all systems at {scale:?} scale...");
+    let runs = SuiteRun::simulate_all(scale);
+    let sections: [(&str, String); 12] = [
+        ("csv", render_csv(&runs)),
+        ("table1", render_table1(&runs)),
+        ("table2", render_table2()),
+        ("table3", render_table3(&runs)),
+        ("fig6a", render_fig6a(&runs)),
+        ("fig6b", render_fig6b(&runs)),
+        ("fig6c", render_fig6c(&runs)),
+        ("fig6d", render_fig6d(&runs)),
+        ("table4", render_table4(&runs)),
+        ("table5", render_table5(&runs)),
+        ("fig7", render_fig7(&runs)),
+        ("table6", render_table6(&runs)),
+    ];
+    let mut printed = false;
+    for (name, text) in &sections {
+        if which == "all" || which == *name {
+            println!("{text}");
+            printed = true;
+        }
+    }
+    if !printed {
+        eprintln!(
+            "unknown section '{which}'; expected one of: all {}",
+            sections.map(|(n, _)| n).join(" ")
+        );
+        std::process::exit(2);
+    }
+}

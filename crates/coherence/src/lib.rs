@@ -1,0 +1,48 @@
+//! Coherence protocols for the FUSION architecture.
+//!
+//! Two protocols cooperate (paper Section 3):
+//!
+//! * [`mesi`] — the host multicore's 3-hop **directory MESI** protocol with
+//!   the sharer list embedded in the inclusive shared L2. The accelerator
+//!   tile's shared L1X participates as an M/E/I agent.
+//! * [`acc`] — the tile-internal **ACC** timestamp/lease protocol: private
+//!   L0X caches self-invalidate on lease expiry and self-downgrade dirty
+//!   data, so the tile needs no invalidation network. ACC adds two write
+//!   optimizations over prior timestamp protocols: write caching
+//!   (write-back L0X) and write forwarding (direct L0X→L0X transfers,
+//!   FUSION-Dx).
+//!
+//! The key interaction (Figure 4): a host request that reaches the tile is
+//! translated by the AX-RMAP and answered purely from L1X GTIME state — the
+//! L0Xs are never probed, and the eviction notice is stalled until the
+//! lease horizon passes.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_coherence::acc::{AccAccess, AccTile, TileTiming};
+//! use fusion_types::{AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, Pid, WritePolicy};
+//!
+//! let mut tile = AccTile::new(
+//!     2,
+//!     CacheGeometry { capacity_bytes: 4096, ways: 4, banks: 1, latency: 1 },
+//!     CacheGeometry { capacity_bytes: 65536, ways: 8, banks: 16, latency: 4 },
+//!     TileTiming::default(),
+//!     WritePolicy::WriteBack,
+//! );
+//! let b = BlockAddr::from_index(1);
+//! match tile.axc_access(AxcId::new(0), Pid::new(1), b, AccessKind::Load, Cycle::new(0), 500) {
+//!     AccAccess::FillNeeded { request_at } => {
+//!         let res = tile.complete_fill(AxcId::new(0), Pid::new(1), b, AccessKind::Load,
+//!                                      request_at + 40, 500);
+//!         assert!(res.done_at > request_at);
+//!     }
+//!     other => panic!("cold access must miss: {other:?}"),
+//! }
+//! ```
+
+pub mod acc;
+pub mod mesi;
+
+pub use acc::{AccAccess, AccTile, ForwardRule, HostForward, L1Evicted, TileStats, TileTiming};
+pub use mesi::{AgentId, DirectoryMesi, MesiOutcome, MesiReq};

@@ -1,0 +1,41 @@
+//! FUSION core: the four architectures of the paper's evaluation and the
+//! experiment runner.
+//!
+//! This crate assembles the substrates — caches ([`fusion_mem`]),
+//! coherence protocols ([`fusion_coherence`]), virtual memory
+//! ([`fusion_vm`]), the DMA engine ([`fusion_dma`]), the accelerator
+//! engine ([`fusion_accel`]) and the energy model ([`fusion_energy`]) —
+//! into complete systems:
+//!
+//! * [`systems::ScratchSystem`] — per-AXC scratchpads + oracle DMA
+//!   (Section 2.1, the ARM/IBM-style baseline),
+//! * [`systems::SharedSystem`] — one shared L1X as a plain MESI agent
+//!   (Section 2.1, the at-the-core baseline),
+//! * [`systems::FusionSystem`] — private L0Xs + shared L1X under the ACC
+//!   lease protocol (Section 3), optionally with FUSION-Dx write
+//!   forwarding (Section 3.2).
+//!
+//! [`runner::run_system`] executes a workload on a system and returns a
+//! [`result::SimResult`] with the cycle counts, the Figure 6a energy
+//! breakdown, the Figure 6c traffic counts and the Table 6 translation
+//! statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_core::runner::{run_system, SystemKind};
+//! use fusion_workloads::{build_suite, Scale, SuiteId};
+//!
+//! let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
+//! let sc = run_system(SystemKind::Scratch, &wl, &Default::default());
+//! let fu = run_system(SystemKind::Fusion, &wl, &Default::default());
+//! assert!(sc.total_cycles > 0 && fu.total_cycles > 0);
+//! ```
+
+pub mod host;
+pub mod result;
+pub mod runner;
+pub mod systems;
+
+pub use result::{PhaseResult, SimResult, Traffic};
+pub use runner::{run_system, SystemKind};

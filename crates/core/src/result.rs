@@ -1,0 +1,202 @@
+//! Simulation results: everything the paper's tables and figures report.
+
+use fusion_coherence::TileStats;
+use fusion_energy::{Component, EnergyLedger};
+use fusion_sim::Histogram;
+use fusion_types::{Flits, PicoJoules, FLIT_BYTES};
+
+/// Per-phase outcome (drives Table 1's %Time and Table 3's KCyc/%En).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseResult {
+    /// Function name.
+    pub name: String,
+    /// `true` when the phase ran on the host core.
+    pub is_host: bool,
+    /// Cycles this phase took (excluding other phases).
+    pub cycles: u64,
+    /// Cycles of that time spent in DMA transfers (SCRATCH only).
+    pub dma_cycles: u64,
+    /// Memory-system energy charged during the phase.
+    pub memory_energy: PicoJoules,
+    /// Datapath (compute) energy charged during the phase.
+    pub compute_energy: PicoJoules,
+}
+
+/// Link traffic summary (Figure 6c and Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Request/control messages AXC→L1X.
+    pub msgs_axc_l1x: u64,
+    /// Data transfers on the AXC–L1X link (responses + writebacks).
+    pub data_axc_l1x: u64,
+    /// Control messages on the L1X–L2 link.
+    pub msgs_l1x_l2: u64,
+    /// Data transfers on the L1X–L2 link (fills, writebacks, DMA).
+    pub data_l1x_l2: u64,
+    /// Direct L0X→L0X forwards (FUSION-Dx).
+    pub fwds_l0x_l0x: u64,
+    /// Flits moved on the AXC–L1X link.
+    pub flits_axc_l1x: Flits,
+}
+
+/// Complete result of one (system, workload) simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// System simulated.
+    pub system: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Cycles spent in DMA transfers (SCRATCH; zero elsewhere).
+    pub dma_cycles: u64,
+    /// Full energy breakdown (Figure 6a stacks).
+    pub energy: EnergyLedger,
+    /// Per-phase results in program order.
+    pub phases: Vec<PhaseResult>,
+    /// Final accelerator-tile protocol counters (FUSION/FUSION-Dx).
+    pub tile: Option<TileStats>,
+    /// AX-TLB lookups (Table 6).
+    pub ax_tlb_lookups: u64,
+    /// AX-RMAP lookups (Table 6).
+    pub ax_rmap_lookups: u64,
+    /// Host MESI requests forwarded into the accelerator tile.
+    pub host_forwards: u64,
+    /// DMA blocks moved (Figure 6d "DMA (kB)" = blocks * 64 / 1024).
+    pub dma_blocks: u64,
+    /// DMA window transfers performed (Figure 6d transfer counts).
+    pub dma_transfers: u64,
+    /// L2 data-array accesses.
+    pub l2_accesses: u64,
+    /// Distribution of accelerator load-to-use latencies (cycles from
+    /// issue to completion, power-of-two buckets).
+    pub latency: Histogram,
+}
+
+impl SimResult {
+    /// Memory-system energy (cache hierarchy + DRAM).
+    pub fn memory_energy(&self) -> PicoJoules {
+        self.energy.memory_system_total()
+    }
+
+    /// Cache-hierarchy dynamic energy — the Figure 6a normalized quantity
+    /// (DRAM excluded: it is the same for every system).
+    pub fn cache_energy(&self) -> PicoJoules {
+        self.energy.cache_hierarchy_total()
+    }
+
+    /// Traffic summary derived from the ledger's event and byte counts.
+    pub fn traffic(&self) -> Traffic {
+        let e = &self.energy;
+        let axc_l1x_bytes = e.bytes(Component::LinkAxcL1xMsg) + e.bytes(Component::LinkAxcL1xData);
+        let flits = axc_l1x_bytes.div_ceil(FLIT_BYTES);
+        Traffic {
+            msgs_axc_l1x: e.count(Component::LinkAxcL1xMsg),
+            data_axc_l1x: e.count(Component::LinkAxcL1xData),
+            msgs_l1x_l2: e.count(Component::LinkL1xL2Msg),
+            data_l1x_l2: e.count(Component::LinkL1xL2Data),
+            fwds_l0x_l0x: e.count(Component::LinkL0xFwd),
+            flits_axc_l1x: Flits(flits),
+        }
+    }
+
+    /// Sum of the accelerator phases' cycles (excludes host phases).
+    pub fn accelerator_cycles(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| !p.is_host)
+            .map(|p| p.cycles)
+            .sum()
+    }
+
+    /// Fraction of total time spent in DMA transfers.
+    pub fn dma_time_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.dma_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Per-function aggregate: `(cycles, memory pJ, compute pJ)` summed
+    /// over all invocations of `name`.
+    pub fn function_totals(&self, name: &str) -> (u64, PicoJoules, PicoJoules) {
+        let mut cycles = 0;
+        let mut mem = PicoJoules::ZERO;
+        let mut comp = PicoJoules::ZERO;
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            cycles += p.cycles;
+            mem += p.memory_energy;
+            comp += p.compute_energy;
+        }
+        (cycles, mem, comp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::PicoJoules;
+
+    fn result_with(phases: Vec<PhaseResult>) -> SimResult {
+        SimResult {
+            system: "TEST",
+            workload: "wl".into(),
+            total_cycles: 100,
+            dma_cycles: 25,
+            energy: EnergyLedger::new(),
+            phases,
+            tile: None,
+            latency: Histogram::new(),
+            ax_tlb_lookups: 0,
+            ax_rmap_lookups: 0,
+            host_forwards: 0,
+            dma_blocks: 0,
+            dma_transfers: 0,
+            l2_accesses: 0,
+        }
+    }
+
+    fn phase(name: &str, is_host: bool, cycles: u64) -> PhaseResult {
+        PhaseResult {
+            name: name.into(),
+            is_host,
+            cycles,
+            dma_cycles: 0,
+            memory_energy: PicoJoules::new(10.0),
+            compute_energy: PicoJoules::new(5.0),
+        }
+    }
+
+    #[test]
+    fn accelerator_cycles_exclude_host() {
+        let r = result_with(vec![phase("a", false, 30), phase("h", true, 70)]);
+        assert_eq!(r.accelerator_cycles(), 30);
+    }
+
+    #[test]
+    fn dma_fraction() {
+        let r = result_with(vec![]);
+        assert!((r.dma_time_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_totals_merge_invocations() {
+        let r = result_with(vec![phase("f", false, 10), phase("f", false, 15)]);
+        let (cyc, mem, comp) = r.function_totals("f");
+        assert_eq!(cyc, 25);
+        assert_eq!(mem.value(), 20.0);
+        assert_eq!(comp.value(), 10.0);
+    }
+
+    #[test]
+    fn traffic_flit_derivation() {
+        let mut r = result_with(vec![]);
+        r.energy.charge_bytes(Component::LinkAxcL1xData, 0.4, 64);
+        r.energy.charge_bytes(Component::LinkAxcL1xMsg, 0.4, 8);
+        let t = r.traffic();
+        assert_eq!(t.flits_axc_l1x.value(), 9); // 8 data + 1 msg flit
+        assert_eq!(t.data_axc_l1x, 1);
+        assert_eq!(t.msgs_axc_l1x, 1);
+    }
+}

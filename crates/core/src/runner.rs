@@ -1,0 +1,99 @@
+//! Experiment runner: one entry point per (system, workload) pair.
+
+use fusion_accel::Workload;
+use fusion_types::SystemConfig;
+
+use crate::result::SimResult;
+use crate::systems::{FusionSystem, ScratchSystem, SharedSystem};
+
+/// The four systems compared in Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Oracle-DMA scratchpads (Section 2.1).
+    Scratch,
+    /// Shared L1X as a plain MESI agent (Section 2.1).
+    Shared,
+    /// Private L0Xs + shared L1X under ACC (Section 3).
+    Fusion,
+    /// FUSION with write forwarding (Section 3.2).
+    FusionDx,
+}
+
+impl SystemKind {
+    /// The three systems of Figure 6 (SC / SH / FU).
+    pub const FIG6: [SystemKind; 3] = [SystemKind::Scratch, SystemKind::Shared, SystemKind::Fusion];
+
+    /// Short label used in figures ("SC", "SH", "FU", "FU-Dx").
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Scratch => "SC",
+            SystemKind::Shared => "SH",
+            SystemKind::Fusion => "FU",
+            SystemKind::FusionDx => "FU-Dx",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs `workload` on the chosen system with the given configuration.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_core::runner::{run_system, SystemKind};
+/// use fusion_workloads::{build_suite, Scale, SuiteId};
+///
+/// let wl = build_suite(SuiteId::Filter, Scale::Tiny);
+/// let res = run_system(SystemKind::Shared, &wl, &Default::default());
+/// assert_eq!(res.system, "SHARED");
+/// ```
+pub fn run_system(kind: SystemKind, workload: &Workload, cfg: &SystemConfig) -> SimResult {
+    match kind {
+        SystemKind::Scratch => ScratchSystem::new(cfg).run(workload),
+        SystemKind::Shared => SharedSystem::new(cfg).run(workload),
+        SystemKind::Fusion => FusionSystem::new(cfg).run(workload),
+        SystemKind::FusionDx => FusionSystem::new_dx(cfg).run(workload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_workloads::{build_suite, Scale, SuiteId};
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemKind::Scratch.label(), "SC");
+        assert_eq!(SystemKind::FusionDx.to_string(), "FU-Dx");
+        assert_eq!(SystemKind::FIG6.len(), 3);
+    }
+
+    #[test]
+    fn all_four_systems_run_one_workload() {
+        let wl = build_suite(SuiteId::Filter, Scale::Tiny);
+        for kind in [
+            SystemKind::Scratch,
+            SystemKind::Shared,
+            SystemKind::Fusion,
+            SystemKind::FusionDx,
+        ] {
+            let res = run_system(kind, &wl, &SystemConfig::small());
+            assert!(res.total_cycles > 0, "{kind}");
+            assert!(res.memory_energy().value() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
+        let a = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let b = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.energy, b.energy);
+    }
+}

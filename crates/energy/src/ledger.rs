@@ -1,0 +1,345 @@
+//! Per-component energy accounting — the stack of Figure 6a.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use fusion_types::PicoJoules;
+use serde::{Deserialize, Serialize};
+
+/// The energy components reported by the paper's evaluation (Figure 6a
+/// stacks plus the translation structures of Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Accelerator-local storage: per-AXC L0X or scratchpad accesses.
+    AxcCache,
+    /// Shared L1X accesses.
+    L1x,
+    /// Host shared L2 (LLC) accesses.
+    L2,
+    /// Host L1 accesses (host-executed phases).
+    HostL1,
+    /// Main memory accesses.
+    Memory,
+    /// Request/control messages on the AXC–L1X link (the paper's
+    /// `L0X->L1X MSG` stack).
+    LinkAxcL1xMsg,
+    /// Data moved on the AXC–L1X link (`L1X->L0X DATA` plus writebacks).
+    LinkAxcL1xData,
+    /// Control messages on the L1X–L2 link (coherence requests, PUTX acks).
+    LinkL1xL2Msg,
+    /// Data moved on the L1X–L2 link (fills, writebacks, DMA payloads).
+    LinkL1xL2Data,
+    /// Direct L0X→L0X forwarding transfers (FUSION-Dx).
+    LinkL0xFwd,
+    /// DMA controller activity (SCRATCH).
+    Dma,
+    /// AX-TLB lookups.
+    Tlb,
+    /// AX-RMAP lookups.
+    Rmap,
+    /// Accelerator datapath operations (int/fp) — used for the
+    /// cache/compute energy ratios of Table 3.
+    Compute,
+}
+
+impl Component {
+    /// All components, in report order.
+    pub const ALL: [Component; 14] = [
+        Component::AxcCache,
+        Component::L1x,
+        Component::L2,
+        Component::HostL1,
+        Component::Memory,
+        Component::LinkAxcL1xMsg,
+        Component::LinkAxcL1xData,
+        Component::LinkL1xL2Msg,
+        Component::LinkL1xL2Data,
+        Component::LinkL0xFwd,
+        Component::Dma,
+        Component::Tlb,
+        Component::Rmap,
+        Component::Compute,
+    ];
+
+    /// Short label used in table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::AxcCache => "AXC$",
+            Component::L1x => "L1X",
+            Component::L2 => "L2",
+            Component::HostL1 => "HostL1",
+            Component::Memory => "Mem",
+            Component::LinkAxcL1xMsg => "L0X->L1X msg",
+            Component::LinkAxcL1xData => "L0X<->L1X data",
+            Component::LinkL1xL2Msg => "L1X->L2 msg",
+            Component::LinkL1xL2Data => "L1X<->L2 data",
+            Component::LinkL0xFwd => "L0X->L0X fwd",
+            Component::Dma => "DMA",
+            Component::Tlb => "AX-TLB",
+            Component::Rmap => "AX-RMAP",
+            Component::Compute => "Compute",
+        }
+    }
+
+    fn index(self) -> usize {
+        Component::ALL.iter().position(|&c| c == self).unwrap()
+    }
+
+    /// `true` for the components that belong to the memory system (the
+    /// paper's "cache hierarchy dynamic energy"), i.e. everything except
+    /// the datapath compute energy.
+    pub fn is_memory_system(self) -> bool {
+        !matches!(self, Component::Compute)
+    }
+
+    /// `true` for link components.
+    pub fn is_link(self) -> bool {
+        matches!(
+            self,
+            Component::LinkAxcL1xMsg
+                | Component::LinkAxcL1xData
+                | Component::LinkL1xL2Msg
+                | Component::LinkL1xL2Data
+                | Component::LinkL0xFwd
+        )
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulates dynamic energy and event counts per [`Component`].
+///
+/// # Examples
+///
+/// ```
+/// use fusion_energy::{Component, EnergyLedger};
+/// use fusion_types::PicoJoules;
+///
+/// let mut l = EnergyLedger::new();
+/// l.charge(Component::L1x, PicoJoules::new(9.0));
+/// l.charge_bytes(Component::LinkAxcL1xData, 0.4, 64);
+/// assert_eq!(l.count(Component::L1x), 1);
+/// assert!((l.total().value() - (9.0 + 25.6)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    energy: [f64; Component::ALL.len()],
+    counts: [u64; Component::ALL.len()],
+    bytes: [u64; Component::ALL.len()],
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Charges one event of `pj` to `component`.
+    #[inline]
+    pub fn charge(&mut self, component: Component, pj: PicoJoules) {
+        let i = component.index();
+        self.energy[i] += pj.value();
+        self.counts[i] += 1;
+    }
+
+    /// Charges `n` identical events of `pj` each.
+    #[inline]
+    pub fn charge_n(&mut self, component: Component, pj: PicoJoules, n: u64) {
+        let i = component.index();
+        self.energy[i] += pj.value() * n as f64;
+        self.counts[i] += n;
+    }
+
+    /// Charges a `bytes`-sized transfer at `pj_per_byte` as one event.
+    #[inline]
+    pub fn charge_bytes(&mut self, component: Component, pj_per_byte: f64, bytes: u64) {
+        let i = component.index();
+        self.energy[i] += pj_per_byte * bytes as f64;
+        self.counts[i] += 1;
+        self.bytes[i] += bytes;
+    }
+
+    /// Charges `n` transfers of `bytes_each` at `pj_per_byte` (bulk link
+    /// accounting; tracks the byte volume exactly).
+    #[inline]
+    pub fn charge_bytes_n(
+        &mut self,
+        component: Component,
+        pj_per_byte: f64,
+        bytes_each: u64,
+        n: u64,
+    ) {
+        let i = component.index();
+        self.energy[i] += pj_per_byte * (bytes_each * n) as f64;
+        self.counts[i] += n;
+        self.bytes[i] += bytes_each * n;
+    }
+
+    /// Bytes moved on `component` (non-zero only for link components
+    /// charged through the byte-aware methods).
+    pub fn bytes(&self, component: Component) -> u64 {
+        self.bytes[component.index()]
+    }
+
+    /// Energy accumulated on `component`.
+    pub fn energy(&self, component: Component) -> PicoJoules {
+        PicoJoules::new(self.energy[component.index()])
+    }
+
+    /// Event count accumulated on `component`.
+    pub fn count(&self, component: Component) -> u64 {
+        self.counts[component.index()]
+    }
+
+    /// Total energy across all components.
+    pub fn total(&self) -> PicoJoules {
+        PicoJoules::new(self.energy.iter().sum())
+    }
+
+    /// Dynamic energy of the *cache hierarchy*: the memory system minus
+    /// DRAM (the paper's Figure 6a quantity — DRAM energy is identical
+    /// across systems and excluded from the stacks).
+    pub fn cache_hierarchy_total(&self) -> PicoJoules {
+        self.memory_system_total() - self.energy(Component::Memory)
+    }
+
+    /// Total energy over the memory system (everything except compute) —
+    /// the quantity Figure 6a normalizes.
+    pub fn memory_system_total(&self) -> PicoJoules {
+        PicoJoules::new(
+            Component::ALL
+                .iter()
+                .filter(|c| c.is_memory_system())
+                .map(|c| self.energy[c.index()])
+                .sum(),
+        )
+    }
+
+    /// Total energy on link components (Lesson 4's message-overhead study).
+    pub fn link_total(&self) -> PicoJoules {
+        PicoJoules::new(
+            Component::ALL
+                .iter()
+                .filter(|c| c.is_link())
+                .map(|c| self.energy[c.index()])
+                .sum(),
+        )
+    }
+
+    /// Iterates `(component, energy, count)` over all non-zero components.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, PicoJoules, u64)> + '_ {
+        Component::ALL
+            .iter()
+            .filter(|c| self.counts[c.index()] > 0 || self.energy[c.index()] > 0.0)
+            .map(|&c| (c, self.energy(c), self.count(c)))
+    }
+}
+
+impl Add for EnergyLedger {
+    type Output = EnergyLedger;
+    fn add(mut self, rhs: EnergyLedger) -> EnergyLedger {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyLedger {
+    fn add_assign(&mut self, rhs: EnergyLedger) {
+        for i in 0..Component::ALL.len() {
+            self.energy[i] += rhs.energy[i];
+            self.counts[i] += rhs.counts[i];
+            self.bytes[i] += rhs.bytes[i];
+        }
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total {} ({} mem-system)",
+            self.total(),
+            self.memory_system_total()
+        )?;
+        for (c, e, n) in self.iter() {
+            writeln!(f, "  {:<16} {:>14} ({n} events)", c.label(), e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_energy_and_counts() {
+        let mut l = EnergyLedger::new();
+        l.charge(Component::L2, PicoJoules::new(100.0));
+        l.charge_n(Component::L2, PicoJoules::new(50.0), 2);
+        assert_eq!(l.count(Component::L2), 3);
+        assert_eq!(l.energy(Component::L2).value(), 200.0);
+        assert_eq!(l.total().value(), 200.0);
+    }
+
+    #[test]
+    fn charge_bytes_uses_per_byte_cost() {
+        let mut l = EnergyLedger::new();
+        l.charge_bytes(Component::LinkL1xL2Data, 6.0, 64);
+        assert_eq!(l.energy(Component::LinkL1xL2Data).value(), 384.0);
+        assert_eq!(l.count(Component::LinkL1xL2Data), 1);
+    }
+
+    #[test]
+    fn compute_excluded_from_memory_system_total() {
+        let mut l = EnergyLedger::new();
+        l.charge(Component::Compute, PicoJoules::new(10.0));
+        l.charge(Component::L1x, PicoJoules::new(5.0));
+        assert_eq!(l.memory_system_total().value(), 5.0);
+        assert_eq!(l.total().value(), 15.0);
+    }
+
+    #[test]
+    fn link_total_only_counts_links() {
+        let mut l = EnergyLedger::new();
+        l.charge(Component::LinkAxcL1xMsg, PicoJoules::new(3.0));
+        l.charge(Component::LinkL0xFwd, PicoJoules::new(2.0));
+        l.charge(Component::L2, PicoJoules::new(99.0));
+        assert_eq!(l.link_total().value(), 5.0);
+    }
+
+    #[test]
+    fn ledgers_merge() {
+        let mut a = EnergyLedger::new();
+        a.charge(Component::Tlb, PicoJoules::new(1.0));
+        let mut b = EnergyLedger::new();
+        b.charge(Component::Tlb, PicoJoules::new(2.0));
+        b.charge(Component::Rmap, PicoJoules::new(4.0));
+        let merged = a + b;
+        assert_eq!(merged.energy(Component::Tlb).value(), 3.0);
+        assert_eq!(merged.count(Component::Tlb), 2);
+        assert_eq!(merged.energy(Component::Rmap).value(), 4.0);
+    }
+
+    #[test]
+    fn iter_skips_untouched_components() {
+        let mut l = EnergyLedger::new();
+        l.charge(Component::Dma, PicoJoules::new(1.0));
+        let items: Vec<_> = l.iter().collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, Component::Dma);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut l = EnergyLedger::new();
+        l.charge(Component::AxcCache, PicoJoules::new(1.0));
+        let s = l.to_string();
+        assert!(s.contains("AXC$"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,447 @@
+//! A generic set-associative cache.
+
+use fusion_types::{BlockAddr, CacheGeometry, Pid};
+
+/// Replacement policy for [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the default, matching GEMS' L1/L2 models).
+    #[default]
+    Lru,
+    /// First-in-first-out (insertion order).
+    Fifo,
+    /// Pseudo-random (deterministic xorshift over an internal counter, so
+    /// simulations stay reproducible).
+    Random,
+}
+
+/// One cache line: identity (PID + block tag), dirty bit and protocol
+/// metadata `M`.
+///
+/// The paper tags the virtually-indexed L0X/L1X lines with process ids so
+/// accelerators from different processes can share a tile; a PID mismatch is
+/// treated as a miss even when the virtual tags collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line<M> {
+    /// Owning process.
+    pub pid: Pid,
+    /// Block tag.
+    pub block: BlockAddr,
+    /// Dirty (modified) bit.
+    pub dirty: bool,
+    /// Protocol metadata: lease timestamps for ACC lines, MESI state for
+    /// host lines.
+    pub meta: M,
+    stamp: u64,
+}
+
+/// A line evicted by [`SetAssocCache::insert`] or removed by
+/// [`SetAssocCache::invalidate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<M> {
+    /// Owning process of the victim.
+    pub pid: Pid,
+    /// Victim block.
+    pub block: BlockAddr,
+    /// Whether the victim held dirty data (needs a writeback).
+    pub dirty: bool,
+    /// Protocol metadata of the victim.
+    pub meta: M,
+}
+
+/// A set-associative cache with per-line metadata `M`.
+///
+/// The structure is purely a tag/metadata store — simulated programs never
+/// read data *values* through it (the workloads compute on real Rust memory
+/// and the simulator replays their address traces), so no data array is kept.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<M> {
+    sets: Vec<Vec<Line<M>>>,
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    tick: u64,
+    rng_state: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Creates an empty cache with the given geometry and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry holds zero blocks or zero ways.
+    pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        assert!(geometry.blocks() > 0, "cache must hold at least one block");
+        assert!(geometry.ways > 0, "cache must have at least one way");
+        let sets = geometry.sets();
+        SetAssocCache {
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(geometry.ways))
+                .collect(),
+            geometry,
+            policy,
+            tick: 0,
+            rng_state: 0x9e3779b97f4a7c15,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Set index for a block (modulo hashing over block index).
+    #[inline]
+    pub fn set_index(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Bank index for a block (block-interleaved banking).
+    #[inline]
+    pub fn bank_index(&self, block: BlockAddr) -> usize {
+        (block.index() % self.geometry.banks.max(1) as u64) as usize
+    }
+
+    /// Looks up a line, updating replacement state and hit/miss statistics.
+    pub fn lookup(&mut self, pid: Pid, block: BlockAddr) -> Option<&mut Line<M>> {
+        let tick = self.next_tick();
+        let is_lru = self.policy == ReplacementPolicy::Lru;
+        let set = self.set_index(block);
+        let found = self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block && l.pid == pid);
+        match found {
+            Some(line) => {
+                if is_lru {
+                    line.stamp = tick;
+                }
+                self.hits += 1;
+                Some(line)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for a line without touching replacement or statistics.
+    pub fn probe(&self, pid: Pid, block: BlockAddr) -> Option<&Line<M>> {
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.block == block && l.pid == pid)
+    }
+
+    /// Mutable probe without touching replacement or statistics (used by
+    /// protocol actions that must not perturb LRU, e.g. forwarded-request
+    /// handling).
+    pub fn probe_mut(&mut self, pid: Pid, block: BlockAddr) -> Option<&mut Line<M>> {
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block && l.pid == pid)
+    }
+
+    /// Inserts a line, returning the evicted victim if the set was full.
+    ///
+    /// If the block is already present its metadata and dirty bit are
+    /// replaced in place (no eviction).
+    pub fn insert(
+        &mut self,
+        pid: Pid,
+        block: BlockAddr,
+        meta: M,
+        dirty: bool,
+    ) -> Option<Evicted<M>> {
+        let tick = self.next_tick();
+        let set = self.set_index(block);
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block && l.pid == pid)
+        {
+            line.meta = meta;
+            line.dirty = dirty;
+            line.stamp = tick;
+            return None;
+        }
+        let victim = if self.sets[set].len() >= self.geometry.ways {
+            let way = self.choose_victim(set);
+            let old = self.sets[set].swap_remove(way);
+            self.evictions += 1;
+            Some(Evicted {
+                pid: old.pid,
+                block: old.block,
+                dirty: old.dirty,
+                meta: old.meta,
+            })
+        } else {
+            None
+        };
+        self.sets[set].push(Line {
+            pid,
+            block,
+            dirty,
+            meta,
+            stamp: tick,
+        });
+        victim
+    }
+
+    /// Removes a line (coherence invalidation), returning it if present.
+    pub fn invalidate(&mut self, pid: Pid, block: BlockAddr) -> Option<Evicted<M>> {
+        let set = self.set_index(block);
+        let pos = self.sets[set]
+            .iter()
+            .position(|l| l.block == block && l.pid == pid)?;
+        let old = self.sets[set].swap_remove(pos);
+        Some(Evicted {
+            pid: old.pid,
+            block: old.block,
+            dirty: old.dirty,
+            meta: old.meta,
+        })
+    }
+
+    /// Removes every line, invoking `f` on each (bulk flush / PID teardown).
+    pub fn flush_with(&mut self, mut f: impl FnMut(Evicted<M>)) {
+        for set in &mut self.sets {
+            for old in set.drain(..) {
+                f(Evicted {
+                    pid: old.pid,
+                    block: old.block,
+                    dirty: old.dirty,
+                    meta: old.meta,
+                });
+            }
+        }
+    }
+
+    /// Iterates all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &Line<M>> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+
+    /// Iterates all resident lines mutably (protocol sweeps).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Line<M>> {
+        self.sets.iter_mut().flat_map(|s| s.iter_mut())
+    }
+
+    /// Iterates the lines of the set holding `block` mutably.
+    pub fn iter_set_mut(&mut self, block: BlockAddr) -> impl Iterator<Item = &mut Line<M>> {
+        let set = self.set_index(block);
+        self.sets[set].iter_mut()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Capacity/conflict evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn choose_victim(&mut self, set: usize) -> usize {
+        match self.policy {
+            // Both LRU and FIFO evict the smallest stamp: LRU refreshes the
+            // stamp on hit, FIFO does not.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("victim selection on non-empty set"),
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                (x.wrapping_mul(0x2545f4914f6cdd1d) % self.sets[set].len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(capacity: usize, ways: usize) -> CacheGeometry {
+        CacheGeometry {
+            capacity_bytes: capacity,
+            ways,
+            banks: 1,
+            latency: 1,
+        }
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    const P: Pid = Pid(1);
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(geom(4096, 4), ReplacementPolicy::Lru);
+        assert!(c.lookup(P, b(5)).is_none());
+        c.insert(P, b(5), 7, false);
+        let line = c.lookup(P, b(5)).unwrap();
+        assert_eq!(line.meta, 7);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn pid_mismatch_is_miss() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(4096, 4), ReplacementPolicy::Lru);
+        c.insert(Pid(1), b(5), (), false);
+        assert!(c.lookup(Pid(2), b(5)).is_none());
+        assert!(c.probe(Pid(2), b(5)).is_none());
+        assert!(c.probe(Pid(1), b(5)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way cache, 1 set (2 blocks total).
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(geom(128, 2), ReplacementPolicy::Lru);
+        c.insert(P, b(0), 0, false);
+        c.insert(P, b(1), 1, false);
+        // Touch block 0 so block 1 is LRU.
+        c.lookup(P, b(0));
+        let evicted = c.insert(P, b(2), 2, false).unwrap();
+        assert_eq!(evicted.block, b(1));
+        assert!(c.probe(P, b(0)).is_some());
+        assert!(c.probe(P, b(2)).is_some());
+    }
+
+    #[test]
+    fn fifo_ignores_hits_for_victim_choice() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(128, 2), ReplacementPolicy::Fifo);
+        c.insert(P, b(0), (), false);
+        c.insert(P, b(1), (), false);
+        c.lookup(P, b(0)); // must NOT save block 0 under FIFO
+        let evicted = c.insert(P, b(2), (), false).unwrap();
+        assert_eq!(evicted.block, b(0));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c: SetAssocCache<()> =
+                SetAssocCache::new(geom(256, 4), ReplacementPolicy::Random);
+            let mut victims = Vec::new();
+            for i in 0..32 {
+                if let Some(e) = c.insert(P, b(i), (), false) {
+                    victims.push(e.block.index());
+                }
+            }
+            victims
+        };
+        assert_eq!(run(), run());
+        assert!(!run().is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(geom(128, 2), ReplacementPolicy::Lru);
+        c.insert(P, b(0), 1, false);
+        assert!(c.insert(P, b(0), 2, true).is_none());
+        assert_eq!(c.len(), 1);
+        let line = c.probe(P, b(0)).unwrap();
+        assert_eq!(line.meta, 2);
+        assert!(line.dirty);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_state() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(4096, 4), ReplacementPolicy::Lru);
+        c.insert(P, b(9), (), true);
+        let e = c.invalidate(P, b(9)).unwrap();
+        assert!(e.dirty);
+        assert!(c.invalidate(P, b(9)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_reports_dirty_victims() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(64, 1), ReplacementPolicy::Lru);
+        // 1 block total: every insert to the same set evicts.
+        c.insert(P, b(0), (), true);
+        let e = c.insert(P, b(1), (), false).unwrap();
+        assert_eq!(e.block, b(0));
+        assert!(e.dirty);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(4096, 4), ReplacementPolicy::Lru);
+        for i in 0..10 {
+            c.insert(P, b(i), (), i % 2 == 0);
+        }
+        let mut dirty = 0;
+        c.flush_with(|e| {
+            if e.dirty {
+                dirty += 1;
+            }
+        });
+        assert!(c.is_empty());
+        assert_eq!(dirty, 5);
+    }
+
+    #[test]
+    fn set_and_bank_mapping() {
+        let g = CacheGeometry {
+            capacity_bytes: 64 * 1024,
+            ways: 8,
+            banks: 16,
+            latency: 4,
+        };
+        let c: SetAssocCache<()> = SetAssocCache::new(g, ReplacementPolicy::Lru);
+        assert_eq!(c.set_index(b(0)), 0);
+        assert_eq!(c.set_index(b(128)), 0); // 128 sets
+        assert_eq!(c.bank_index(b(3)), 3);
+        assert_eq!(c.bank_index(b(19)), 3);
+    }
+
+    #[test]
+    fn conflict_misses_within_capacity() {
+        // 4 sets x 2 ways; blocks 0,4,8 all map to set 0.
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(512, 2), ReplacementPolicy::Lru);
+        c.insert(P, b(0), (), false);
+        c.insert(P, b(4), (), false);
+        let e = c.insert(P, b(8), (), false);
+        assert!(e.is_some(), "set conflict must evict despite free capacity");
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Miss-status holding registers (MSHRs).
+
+use std::collections::HashMap;
+
+use fusion_types::{BlockAddr, Cycle};
+
+/// Bounds and merges outstanding misses for a non-blocking cache.
+///
+/// The accelerator datapath issues memory operations with memory-level
+/// parallelism of up to ~6 (Table 1); secondary misses to a block already
+/// being fetched merge into the primary's entry instead of issuing another
+/// request — exactly the paper's "aggressive non-blocking interface".
+///
+/// # Examples
+///
+/// ```
+/// use fusion_mem::MshrFile;
+/// use fusion_types::{BlockAddr, Cycle};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// let b = BlockAddr::from_index(1);
+/// assert!(mshrs.allocate(b, Cycle::new(10)).is_primary());
+/// assert!(!mshrs.allocate(b, Cycle::new(12)).is_primary()); // merged
+/// assert_eq!(mshrs.complete(b), Some(Cycle::new(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: HashMap<BlockAddr, Entry>,
+    capacity: usize,
+    merges: u64,
+    stalls: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    issued_at: Cycle,
+    merged: u32,
+}
+
+/// Result of an MSHR allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocation {
+    /// A new entry was created; the caller must issue the fill request.
+    Primary,
+    /// Merged into an in-flight miss; no new request needed.
+    Merged,
+    /// The file is full; the caller must stall until an entry completes.
+    Full,
+}
+
+impl Allocation {
+    /// `true` if this allocation created a new entry.
+    pub fn is_primary(self) -> bool {
+        matches!(self, Allocation::Primary)
+    }
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            entries: HashMap::new(),
+            capacity,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Attempts to allocate (or merge into) an entry for `block`.
+    pub fn allocate(&mut self, block: BlockAddr, now: Cycle) -> Allocation {
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.merged += 1;
+            self.merges += 1;
+            return Allocation::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return Allocation::Full;
+        }
+        self.entries.insert(
+            block,
+            Entry {
+                issued_at: now,
+                merged: 0,
+            },
+        );
+        Allocation::Primary
+    }
+
+    /// Completes the miss for `block`, freeing its entry. Returns the issue
+    /// time of the primary miss if the entry existed.
+    pub fn complete(&mut self, block: BlockAddr) -> Option<Cycle> {
+        self.entries.remove(&block).map(|e| e.issued_at)
+    }
+
+    /// `true` when a miss for `block` is in flight.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Number of in-flight misses.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Secondary misses merged since construction.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Allocation attempts rejected because the file was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(b(1), Cycle::new(0)), Allocation::Primary);
+        assert_eq!(m.allocate(b(1), Cycle::new(1)), Allocation::Merged);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = MshrFile::new(2);
+        m.allocate(b(1), Cycle::ZERO);
+        m.allocate(b(2), Cycle::ZERO);
+        assert_eq!(m.allocate(b(3), Cycle::ZERO), Allocation::Full);
+        assert_eq!(m.stalls(), 1);
+        // But merging into an existing entry still works at capacity.
+        assert_eq!(m.allocate(b(2), Cycle::ZERO), Allocation::Merged);
+    }
+
+    #[test]
+    fn complete_frees_entry() {
+        let mut m = MshrFile::new(1);
+        m.allocate(b(7), Cycle::new(42));
+        assert!(m.contains(b(7)));
+        assert_eq!(m.complete(b(7)), Some(Cycle::new(42)));
+        assert!(!m.contains(b(7)));
+        assert_eq!(m.complete(b(7)), None);
+        assert_eq!(m.allocate(b(8), Cycle::ZERO), Allocation::Primary);
+    }
+}

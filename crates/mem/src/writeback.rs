@@ -1,0 +1,136 @@
+//! Writeback (victim) buffer.
+
+use std::collections::VecDeque;
+
+use fusion_types::{BlockAddr, Cycle};
+
+/// A small FIFO of evicted dirty blocks awaiting transfer.
+///
+/// The paper's L1X moves a line into a writeback buffer when a forwarded
+/// host request arrives while the line is still under an L0X lease; the
+/// eviction notice (PUTX) is released when the lease (GTIME) expires.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_mem::WritebackBuffer;
+/// use fusion_types::{BlockAddr, Cycle};
+///
+/// let mut wb = WritebackBuffer::new(4);
+/// wb.push(BlockAddr::from_index(1), Cycle::new(15));
+/// assert_eq!(wb.release_ready(Cycle::new(10)), vec![]);
+/// assert_eq!(wb.release_ready(Cycle::new(15)).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritebackBuffer {
+    entries: VecDeque<(BlockAddr, Cycle)>,
+    capacity: usize,
+    high_water: usize,
+}
+
+impl WritebackBuffer {
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "writeback buffer needs at least one entry");
+        WritebackBuffer {
+            entries: VecDeque::new(),
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Enqueues `block`, releasable at `ready_at` (the GTIME expiry).
+    ///
+    /// Returns `false` (and drops nothing) when the buffer is full; the
+    /// caller must stall and retry.
+    pub fn push(&mut self, block: BlockAddr, ready_at: Cycle) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back((block, ready_at));
+        self.high_water = self.high_water.max(self.entries.len());
+        true
+    }
+
+    /// Removes and returns every entry whose release time has arrived.
+    pub fn release_ready(&mut self, now: Cycle) -> Vec<BlockAddr> {
+        let mut released = Vec::new();
+        self.entries.retain(|&(block, ready)| {
+            if ready <= now {
+                released.push(block);
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Earliest pending release time.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.entries.iter().map(|&(_, t)| t).min()
+    }
+
+    /// `true` if `block` is waiting in the buffer.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|&(b, _)| b == block)
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn releases_only_expired_entries() {
+        let mut wb = WritebackBuffer::new(8);
+        wb.push(b(1), Cycle::new(10));
+        wb.push(b(2), Cycle::new(20));
+        assert_eq!(wb.release_ready(Cycle::new(15)), vec![b(1)]);
+        assert!(wb.contains(b(2)));
+        assert_eq!(wb.next_ready(), Some(Cycle::new(20)));
+        assert_eq!(wb.release_ready(Cycle::new(20)), vec![b(2)]);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn full_buffer_rejects() {
+        let mut wb = WritebackBuffer::new(1);
+        assert!(wb.push(b(1), Cycle::ZERO));
+        assert!(!wb.push(b(2), Cycle::ZERO));
+        assert_eq!(wb.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut wb = WritebackBuffer::new(4);
+        wb.push(b(1), Cycle::ZERO);
+        wb.push(b(2), Cycle::ZERO);
+        wb.release_ready(Cycle::ZERO);
+        assert_eq!(wb.high_water(), 2);
+        assert_eq!(wb.len(), 0);
+    }
+}

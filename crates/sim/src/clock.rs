@@ -1,0 +1,85 @@
+//! The simulated tile clock.
+
+use fusion_types::Cycle;
+
+/// A monotonically advancing cycle counter.
+///
+/// The ACC protocol requires a time-stamp register synchronized across the
+/// accelerator cores of one tile (paper Section 3.2); `Clock` models that
+/// register. It can only move forward — the protocol's lease comparisons
+/// rely on monotonicity.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::Clock;
+/// use fusion_types::Cycle;
+///
+/// let mut clk = Clock::new();
+/// clk.advance_to(Cycle::new(10));
+/// clk.advance(5);
+/// assert_eq!(clk.now(), Cycle::new(15));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        Clock { now: Cycle::ZERO }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances by `cycles`.
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) -> Cycle {
+        self.now += cycles;
+        self.now
+    }
+
+    /// Advances to `t` if `t` is in the future; a no-op otherwise.
+    ///
+    /// Returns the (possibly unchanged) current time. This is the common
+    /// "wait until" operation: stalling on a locked line or a lease expiry
+    /// never moves time backwards.
+    #[inline]
+    pub fn advance_to(&mut self, t: Cycle) -> Cycle {
+        self.now = self.now.max(t);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(3);
+        c.advance(4);
+        assert_eq!(c.now(), Cycle::new(7));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance_to(Cycle::new(10));
+        assert_eq!(c.advance_to(Cycle::new(5)), Cycle::new(10));
+        assert_eq!(c.now(), Cycle::new(10));
+        c.advance_to(Cycle::new(12));
+        assert_eq!(c.now(), Cycle::new(12));
+    }
+}

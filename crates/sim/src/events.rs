@@ -1,0 +1,141 @@
+//! A deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fusion_types::Cycle;
+
+/// A priority queue of `(time, event)` pairs popped in time order.
+///
+/// Events scheduled for the same cycle are popped in insertion (FIFO) order,
+/// which makes simulations bit-for-bit reproducible regardless of heap
+/// internals. Used by the accelerator issue engine (outstanding-miss
+/// completions) and the DMA state machine.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::EventQueue;
+/// use fusion_types::Cycle;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(2), 'x');
+/// assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+/// assert_eq!(q.pop(), Some((Cycle::new(2), 'x')));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at time `t`.
+    pub fn push(&mut self, t: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq,
+            event,
+        }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(1), 2);
+        q.push(Cycle::new(5), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(Cycle::new(1), 2), (Cycle::new(5), 3), (Cycle::new(10), 1)]
+        );
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(3), ());
+        q.push(Cycle::new(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Counters and histograms for simulator measurements.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A simple power-of-two-bucketed histogram (used for e.g. miss latency and
+/// outstanding-request distributions).
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 counts samples of
+/// value 0 or 1.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(5);
+/// h.record(5);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), 5);
+/// assert!((h.mean() - 11.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.max(1).leading_zeros() as usize).saturating_sub(1);
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts: bucket `i` covers `[2^i, 2^(i+1))`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(4); // bucket 2
+        h.record(1024); // bucket 10
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[10], 1);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn histogram_empty_mean_is_zero() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+        assert_eq!(Histogram::new().max(), 0);
+    }
+
+    #[test]
+    fn histogram_display() {
+        let mut h = Histogram::new();
+        h.record(4);
+        assert_eq!(h.to_string(), "n=1 mean=4.00 max=4");
+    }
+}

@@ -1,0 +1,149 @@
+//! Identifier newtypes for accelerators and processes.
+
+use std::fmt;
+
+/// Identifier of a fixed-function accelerator (AXC) within a tile.
+///
+/// The paper collocates all accelerators extracted from one application in a
+/// single tile (2 AXCs for Filter up to 6 for FFT); ids index per-AXC L0X
+/// caches and scratchpads.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AxcId(pub u16);
+
+impl AxcId {
+    /// Wraps a raw accelerator index.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        AxcId(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index as `usize` for direct container indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AxcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AXC-{}", self.0)
+    }
+}
+
+impl fmt::Display for AxcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AXC-{}", self.0)
+    }
+}
+
+impl From<u16> for AxcId {
+    fn from(raw: u16) -> Self {
+        AxcId(raw)
+    }
+}
+
+/// Process identifier tag.
+///
+/// The paper adds PID tags to the L0X/L1X so accelerated functions from
+/// different processes can coexist on one tile; a tag mismatch is a miss.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Wraps a raw process id.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// Returns the raw process id.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// The unit executing a program phase: an accelerator or the host core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// A fixed-function accelerator in the tile.
+    Axc(AxcId),
+    /// The host out-of-order core (runs un-accelerated phases, e.g.
+    /// `step3()` in the paper's Figure 1 example).
+    Host,
+}
+
+impl ExecUnit {
+    /// Returns the accelerator id if this is an accelerator phase.
+    #[inline]
+    pub fn axc(self) -> Option<AxcId> {
+        match self {
+            ExecUnit::Axc(id) => Some(id),
+            ExecUnit::Host => None,
+        }
+    }
+
+    /// Returns `true` when the phase runs on the host core.
+    #[inline]
+    pub fn is_host(self) -> bool {
+        matches!(self, ExecUnit::Host)
+    }
+}
+
+impl fmt::Display for ExecUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecUnit::Axc(id) => write!(f, "{id}"),
+            ExecUnit::Host => write!(f, "HOST"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axc_id_roundtrip() {
+        let id = AxcId::new(3);
+        assert_eq!(id.value(), 3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "AXC-3");
+        assert_eq!(AxcId::from(3u16), id);
+    }
+
+    #[test]
+    fn exec_unit_accessors() {
+        let u = ExecUnit::Axc(AxcId::new(1));
+        assert_eq!(u.axc(), Some(AxcId::new(1)));
+        assert!(!u.is_host());
+        assert!(ExecUnit::Host.is_host());
+        assert_eq!(ExecUnit::Host.axc(), None);
+        assert_eq!(ExecUnit::Host.to_string(), "HOST");
+        assert_eq!(u.to_string(), "AXC-1");
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid::new(7).to_string(), "pid7");
+        assert_eq!(Pid::new(7).value(), 7);
+    }
+}

@@ -1,0 +1,37 @@
+//! Virtual memory for the accelerator tile.
+//!
+//! FUSION runs the accelerator caches on **virtual** addresses and moves
+//! translation off the critical path (paper Section 3.2):
+//!
+//! * [`PageTable`] — per-process virtual→physical mapping (deterministic
+//!   frame allocation, so simulations are reproducible),
+//! * [`Tlb`] — the AX-TLB placed on the shared L1X *miss path* (and the
+//!   host's ordinary critical-path TLB, same structure),
+//! * [`AxRmap`] — the per-tile accelerator reverse map translating the
+//!   physical address of a forwarded MESI request into an L1X line pointer,
+//!   including the Appendix's synonym policy (at most one virtual alias of
+//!   a physical block may live in the tile).
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_vm::{PageTable, Tlb};
+//! use fusion_types::{Pid, VirtAddr};
+//!
+//! let mut pt = PageTable::new();
+//! let mut tlb = Tlb::new(64);
+//! let pid = Pid::new(1);
+//! let va = VirtAddr::new(0x4_2000);
+//! let pa1 = tlb.translate(pid, va, &mut pt);
+//! let pa2 = tlb.translate(pid, va, &mut pt);
+//! assert_eq!(pa1, pa2);
+//! assert_eq!(tlb.misses(), 1); // second lookup hit
+//! ```
+
+pub mod page_table;
+pub mod rmap;
+pub mod tlb;
+
+pub use page_table::PageTable;
+pub use rmap::{AxRmap, L1xPointer, RmapOutcome};
+pub use tlb::Tlb;

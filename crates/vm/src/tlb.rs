@@ -1,0 +1,175 @@
+//! Translation lookaside buffer.
+
+use fusion_types::{PhysAddr, Pid, VirtAddr, PAGE_BYTES};
+
+use crate::PageTable;
+
+/// A fully-associative LRU TLB.
+///
+/// In FUSION this structure sits on the shared L1X **miss path** (the
+/// AX-TLB): accelerator loads/stores that hit in the tile never consult it,
+/// which is where the paper's Table 6 lookup counts and the sub-1 % energy
+/// claim come from. The host model uses the same structure on its critical
+/// path.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_vm::{PageTable, Tlb};
+/// use fusion_types::{Pid, VirtAddr};
+///
+/// let mut pt = PageTable::new();
+/// let mut tlb = Tlb::new(2);
+/// tlb.translate(Pid::new(1), VirtAddr::new(0x0000), &mut pt);
+/// tlb.translate(Pid::new(1), VirtAddr::new(0x1000), &mut pt);
+/// tlb.translate(Pid::new(1), VirtAddr::new(0x2000), &mut pt); // evicts page 0
+/// tlb.translate(Pid::new(1), VirtAddr::new(0x0000), &mut pt);
+/// assert_eq!(tlb.misses(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    tick: u64,
+    lookups: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TlbEntry {
+    pid: Pid,
+    vpage: u64,
+    frame_base: u64,
+    stamp: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `va`, walking `page_table` on a miss (and allocating the
+    /// frame on first touch, as the simulated OS would).
+    pub fn translate(&mut self, pid: Pid, va: VirtAddr, page_table: &mut PageTable) -> PhysAddr {
+        self.lookups += 1;
+        self.tick += 1;
+        let vpage = va.value() / PAGE_BYTES as u64;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.pid == pid && e.vpage == vpage)
+        {
+            e.stamp = self.tick;
+            return PhysAddr::new(e.frame_base + va.page_offset() as u64);
+        }
+        self.misses += 1;
+        let pa = page_table.translate(pid, va);
+        let frame_base = pa.page_base().value();
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty TLB");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(TlbEntry {
+            pid,
+            vpage,
+            frame_base,
+            stamp: self.tick,
+        });
+        pa
+    }
+
+    /// Drops every entry for `pid` (context teardown / shootdown).
+    pub fn flush_pid(&mut self, pid: Pid) {
+        self.entries.retain(|e| e.pid != pid);
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that required a page-table walk.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(8);
+        let pid = Pid::new(1);
+        let a = tlb.translate(pid, VirtAddr::new(0x1000), &mut pt);
+        let b = tlb.translate(pid, VirtAddr::new(0x1040), &mut pt);
+        assert_eq!(a.page_base(), b.page_base());
+        assert_eq!(tlb.lookups(), 2);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(2);
+        let pid = Pid::new(1);
+        tlb.translate(pid, VirtAddr::new(0x0000), &mut pt);
+        tlb.translate(pid, VirtAddr::new(0x1000), &mut pt);
+        tlb.translate(pid, VirtAddr::new(0x0000), &mut pt); // refresh page 0
+        tlb.translate(pid, VirtAddr::new(0x2000), &mut pt); // evicts page 1
+        tlb.translate(pid, VirtAddr::new(0x0000), &mut pt); // still a hit
+        assert_eq!(tlb.misses(), 3);
+    }
+
+    #[test]
+    fn pid_isolation() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(8);
+        let a = tlb.translate(Pid::new(1), VirtAddr::new(0x1000), &mut pt);
+        let b = tlb.translate(Pid::new(2), VirtAddr::new(0x1000), &mut pt);
+        assert_ne!(a.page_base(), b.page_base());
+        assert_eq!(tlb.misses(), 2);
+    }
+
+    #[test]
+    fn flush_pid_removes_only_that_pid() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::new(8);
+        tlb.translate(Pid::new(1), VirtAddr::new(0x1000), &mut pt);
+        tlb.translate(Pid::new(2), VirtAddr::new(0x2000), &mut pt);
+        tlb.flush_pid(Pid::new(1));
+        assert_eq!(tlb.len(), 1);
+        tlb.translate(Pid::new(2), VirtAddr::new(0x2000), &mut pt);
+        assert_eq!(tlb.misses(), 2); // pid-2 entry survived
+    }
+}

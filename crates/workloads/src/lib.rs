@@ -1,0 +1,38 @@
+//! The seven benchmark applications of the FUSION evaluation, rebuilt as
+//! instrumented Rust kernels.
+//!
+//! The paper draws workloads from SD-VBS and MachSuite (Section 4,
+//! Table 1), offloading multiple functions per application to a tile of
+//! fixed-function accelerators while the remaining code runs on the host.
+//! The original C sources and inputs are not reproducible here, so each
+//! application is re-implemented over the [`fusion_accel::Recorder`]
+//! instrumented address space: the kernels compute real results (and are
+//! unit-tested for correctness) while emitting the dynamic traces the
+//! simulator replays. Input sizes at [`suite::Scale::Paper`] are chosen to
+//! match the paper's working sets (Figure 6d table: FFT with a large
+//! DMA-to-working-set ratio, DISP ≈ 163 kB, TRACK ≈ 371 kB,
+//! HIST ≈ 1191 kB, ADPCM/SUSAN/FILT < 30 kB).
+//!
+//! Per-function memory-level parallelism and ACC lease times follow
+//! Tables 1 and 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_workloads::suite::{build_suite, Scale, SuiteId};
+//!
+//! let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
+//! assert_eq!(wl.axc_count(), 2); // coder + decoder
+//! assert!(wl.total_refs() > 0);
+//! ```
+
+pub mod adpcm;
+pub mod disparity;
+pub mod fft;
+pub mod filter;
+pub mod histogram;
+pub mod suite;
+pub mod susan;
+pub mod tracking;
+
+pub use suite::{all_suites, build_suite, Scale, SuiteId};

@@ -1,0 +1,125 @@
+//! Suite registry and scaling.
+
+use fusion_accel::Workload;
+
+/// The seven applications of the evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteId {
+    /// 6-step radix-2 FFT (MachSuite-style).
+    Fft,
+    /// SD-VBS stereo disparity (5 functions).
+    Disparity,
+    /// SD-VBS feature-tracking front end (blur / resize / sobel).
+    Tracking,
+    /// MachSuite ADPCM coder + decoder.
+    Adpcm,
+    /// SUSAN image analysis (bright / smooth / corners / edges).
+    Susan,
+    /// Median + edge filter pair.
+    Filter,
+    /// Histogram equalization pipeline (rgb2hsl / hist / equalize /
+    /// hsl2rgb).
+    Histogram,
+}
+
+impl SuiteId {
+    /// Paper abbreviation used in figures ("FFT", "DISP.", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteId::Fft => "FFT",
+            SuiteId::Disparity => "DISP.",
+            SuiteId::Tracking => "TRACK.",
+            SuiteId::Adpcm => "ADPCM",
+            SuiteId::Susan => "SUSAN",
+            SuiteId::Filter => "FILT.",
+            SuiteId::Histogram => "HIST.",
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Input scaling: trade simulation time for fidelity to the paper's
+/// working sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Minimal inputs for unit/integration tests (seconds of CI time).
+    Tiny,
+    /// Reduced inputs for interactive runs.
+    Small,
+    /// Inputs sized to the paper's working sets (used for the tables and
+    /// figures in EXPERIMENTS.md).
+    #[default]
+    Paper,
+}
+
+impl Scale {
+    /// A dimension helper: picks one of three values by scale.
+    pub fn pick(self, tiny: usize, small: usize, paper: usize) -> usize {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Small => small,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Builds one suite's workload at the given scale.
+pub fn build_suite(id: SuiteId, scale: Scale) -> Workload {
+    match id {
+        SuiteId::Fft => crate::fft::build(scale),
+        SuiteId::Disparity => crate::disparity::build(scale),
+        SuiteId::Tracking => crate::tracking::build(scale),
+        SuiteId::Adpcm => crate::adpcm::build(scale),
+        SuiteId::Susan => crate::susan::build(scale),
+        SuiteId::Filter => crate::filter::build(scale),
+        SuiteId::Histogram => crate::histogram::build(scale),
+    }
+}
+
+/// All suites in the paper's figure order.
+pub fn all_suites() -> [SuiteId; 7] {
+    [
+        SuiteId::Fft,
+        SuiteId::Disparity,
+        SuiteId::Tracking,
+        SuiteId::Adpcm,
+        SuiteId::Susan,
+        SuiteId::Filter,
+        SuiteId::Histogram,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SuiteId::Fft.label(), "FFT");
+        assert_eq!(SuiteId::Histogram.to_string(), "HIST.");
+        assert_eq!(all_suites().len(), 7);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+        assert_eq!(Scale::default(), Scale::Paper);
+    }
+
+    #[test]
+    fn every_suite_builds_at_tiny_scale() {
+        for id in all_suites() {
+            let wl = build_suite(id, Scale::Tiny);
+            assert!(wl.total_refs() > 0, "{id} produced an empty trace");
+            assert!(wl.axc_count() >= 2, "{id} needs at least two accelerators");
+            assert_eq!(wl.name, id.label());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Two programs, two accelerator tiles, one host multicore.
+//!
+//! The paper's architecture supports multiple accelerator tiles (Section
+//! 3.1); each tile is a separate MESI agent at the host L2 and runs one
+//! offloaded program under its own PID. This example co-schedules two
+//! applications and shows that their tiles stay isolated while sharing
+//! the host fabric.
+//!
+//! ```sh
+//! cargo run --release --example multi_tile
+//! ```
+
+use fusion_repro::core::runner::{run_system, SystemKind};
+use fusion_repro::core::systems::MultiTileSystem;
+use fusion_repro::workloads::{build_suite, Scale, SuiteId};
+
+fn main() {
+    let a = build_suite(SuiteId::Adpcm, Scale::Small);
+    let b = build_suite(SuiteId::Filter, Scale::Small);
+
+    // Solo runs for reference.
+    let solo_a = run_system(SystemKind::Fusion, &a, &Default::default());
+    let solo_b = run_system(SystemKind::Fusion, &b, &Default::default());
+
+    // Co-scheduled on two tiles.
+    let results = MultiTileSystem::new(&Default::default()).run(&[a, b]);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>10}",
+        "program", "solo cyc", "co-run cyc", "L0 hit%", "RMAP"
+    );
+    for (solo, multi) in [(&solo_a, &results[0]), (&solo_b, &results[1])] {
+        let t = multi.tile.expect("tile stats");
+        println!(
+            "{:<8} {:>12} {:>12} {:>10.1} {:>10}",
+            multi.workload,
+            solo.total_cycles,
+            multi.total_cycles,
+            100.0 * t.l0_hits as f64 / t.l0_accesses.max(1) as f64,
+            multi.ax_rmap_lookups,
+        );
+    }
+    println!(
+        "\nEach tile keeps its own L0X/L1X/ACC state and AX-RMAP; PID tags keep\n\
+         the programs' identical virtual addresses apart, and the shared L2\n\
+         directory routes forwarded requests to the right tile."
+    );
+}
