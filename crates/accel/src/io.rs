@@ -12,7 +12,6 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fusion_types::ids::ExecUnit;
 use fusion_types::{AccessKind, AxcId, Pid, VirtAddr};
 
@@ -20,6 +19,81 @@ use crate::trace::{MemRef, OpCounts, Phase, Workload};
 
 const MAGIC: &[u8; 4] = b"FTRC";
 const VERSION: u16 = 1;
+
+/// Little-endian append helpers for the encode path (the subset of
+/// `bytes::BufMut` this module needs, implemented on `Vec<u8>` so the
+/// format has no external dependency).
+trait PutLe {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor helpers for the decode path (the subset of
+/// `bytes::Buf` this module needs, implemented on byte slices).
+///
+/// Callers must check [`GetLe::remaining`] before reading; the getters
+/// panic on underflow exactly like their `bytes` namesakes.
+trait GetLe {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl GetLe for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        let v = u16::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+}
 
 /// FNV-1a over the payload (everything after magic+version).
 fn fnv1a(data: &[u8]) -> u64 {
@@ -70,8 +144,8 @@ impl From<io::Error> for TraceIoError {
 }
 
 /// Encodes `workload` into its binary trace representation.
-pub fn encode_workload(workload: &Workload) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + workload.total_refs() as usize * 6);
+pub fn encode_workload(workload: &Workload) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + workload.total_refs() as usize * 6);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u32_le(workload.pid.value());
@@ -101,7 +175,7 @@ pub fn encode_workload(workload: &Workload) -> Bytes {
     }
     let checksum = fnv1a(&buf[6..]);
     buf.put_u64_le(checksum);
-    buf.freeze()
+    buf
 }
 
 /// Decodes a workload from its binary trace representation.
@@ -216,7 +290,7 @@ pub fn read_workload<R: Read>(mut reader: R) -> Result<Workload, TraceIoError> {
     decode_workload(&data)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u16_le(s.len() as u16);
     buf.put_slice(s.as_bytes());
 }
@@ -244,7 +318,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -371,7 +445,7 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
         for &v in &values {
             put_varint(&mut buf, v);

@@ -1,0 +1,42 @@
+//! Sweep-pool benchmarks: the full 4-system × 7-suite grid through
+//! [`fusion_core::sweep`], sequential vs. parallel, plus the shared
+//! trace cache on its own.
+//!
+//! The parallel/sequential pair is the headline number for the sweep
+//! subsystem — on a multi-core host the pooled grid should finish a
+//! multiple faster than one worker.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_core::{full_grid, Sweep, TraceCache};
+use fusion_types::SystemConfig;
+use fusion_workloads::{Scale, SuiteId};
+
+fn bench(c: &mut Criterion) {
+    // Warm a shared cache once so every measured run replays identical
+    // traces instead of timing kernel materialization.
+    let traces = Arc::new(TraceCache::new());
+    for job in full_grid(&SystemConfig::small()) {
+        traces.get(job.suite, Scale::Tiny);
+    }
+
+    let mut g = c.benchmark_group("sweep_grid");
+    g.bench_function("grid_tiny/sequential", |b| {
+        let sweep = Sweep::new(Scale::Tiny)
+            .threads(1)
+            .with_trace_cache(Arc::clone(&traces));
+        b.iter(|| std::hint::black_box(sweep.run(full_grid(&SystemConfig::small())).len()))
+    });
+    g.bench_function("grid_tiny/parallel", |b| {
+        let sweep = Sweep::new(Scale::Tiny).with_trace_cache(Arc::clone(&traces));
+        b.iter(|| std::hint::black_box(sweep.run(full_grid(&SystemConfig::small())).len()))
+    });
+    g.bench_function("trace_cache/hit", |b| {
+        b.iter(|| std::hint::black_box(traces.get(SuiteId::Fft, Scale::Tiny).total_refs()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,59 +1,87 @@
 //! Command-line simulator driver.
 //!
 //! ```text
-//! sim run    --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>
-//!            [--scale tiny|small|paper] [--large] [--write-through]
-//!            [--lease-renewal] [--prefetch <N>] [--json]
-//! sim trace  --suite <...> [--scale ...] --out <file>
-//! sim replay --system <...> --trace <file> [--json] [...]
-//! sim compare --suite <...> [--scale ...] [config flags]
+//! sim run     --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>
+//!             [--scale tiny|small|paper] [--large] [--write-through]
+//!             [--lease-renewal] [--prefetch <N>] [--json]
+//! sim trace   --suite <...> [--scale ...] --out <file>
+//! sim replay  --system <...> --trace <file> [--json] [config flags]
+//! sim compare --suite <...> [--scale ...] [--threads <N>] [config flags]
+//! sim sweep   [--scale ...] [--threads <N>] [--json] [config flags]
 //! ```
 //!
 //! `trace` materializes a workload into a compact binary file (the paper's
 //! trace-driven workflow); `replay` runs any architecture over it without
-//! rebuilding the kernels.
+//! rebuilding the kernels. `compare` runs all four systems on one suite
+//! and `sweep` runs the full 4-system × 7-suite evaluation grid — both
+//! over the shared-trace worker pool of [`fusion_core::sweep`].
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use fusion_accel::{io as trace_io, Workload};
-use fusion_core::{run_system, SimResult, SystemKind};
+use fusion_core::{full_grid, run_system, SimResult, Sweep, SweepJob, SystemKind};
 use fusion_energy::Component;
 use fusion_types::{SystemConfig, WritePolicy};
 use fusion_workloads::{build_suite, Scale, SuiteId};
 
+const USAGE: &str = "usage:\n  \
+sim run     --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>\n              \
+[--scale tiny|small|paper] [--large] [--write-through] [--lease-renewal]\n              \
+[--prefetch <N>] [--json]\n  \
+sim trace   --suite <...> [--scale ...] --out <file>\n  \
+sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n              \
+[--lease-renewal] [--prefetch <N>]\n  \
+sim compare --suite <...> [--scale ...] [--threads <N>] [config flags]\n  \
+sim sweep   [--scale ...] [--threads <N>] [--json] [config flags]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  sim run --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|hist>\n          [--scale tiny|small|paper] [--large] [--write-through] [--lease-renewal] [--json]\n  sim trace --suite <...> [--scale ...] --out <file>\n  sim replay --system <...> --trace <file> [--json] [--large] [--write-through] [--lease-renewal]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
+/// Prints the specific problem, then the usage text.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    usage()
+}
+
+/// Options that stand alone (no value follows).
+const FLAG_KEYS: [&str; 4] = ["json", "large", "write-through", "lease-renewal"];
+/// Options that consume the next argument as their value.
+const VALUE_KEYS: [&str; 7] = [
+    "system", "suite", "scale", "out", "trace", "prefetch", "threads",
+];
+
+#[derive(Debug)]
 struct Args {
     values: Vec<(String, String)>,
 }
 
 impl Args {
-    fn parse(args: &[String]) -> Option<Args> {
+    /// Parses `--flag` / `--key value` pairs, rejecting unknown keys,
+    /// bare (non `--`) tokens and valued options missing their value.
+    fn parse(args: &[String]) -> Result<Args, String> {
         let mut values = Vec::new();
         let mut i = 0;
         while i < args.len() {
-            let key = args[i].strip_prefix("--")?.to_owned();
-            let flag = matches!(
-                key.as_str(),
-                "json" | "large" | "write-through" | "lease-renewal"
-            );
-            // "--prefetch <N>" takes a value; flags above do not.
-            if flag {
-                values.push((key, "true".into()));
+            let Some(key) = args[i].strip_prefix("--") else {
+                return Err(format!("unexpected argument '{}'", args[i]));
+            };
+            if FLAG_KEYS.contains(&key) {
+                values.push((key.to_owned(), "true".into()));
                 i += 1;
-            } else {
-                let value = args.get(i + 1)?.clone();
-                values.push((key, value));
+            } else if VALUE_KEYS.contains(&key) {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("--{key} requires a value"));
+                };
+                values.push((key.to_owned(), value.clone()));
                 i += 2;
+            } else {
+                return Err(format!("unknown option '--{key}'"));
             }
         }
-        Some(Args { values })
+        Ok(Args { values })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -65,6 +93,18 @@ impl Args {
 
     fn flag(&self, key: &str) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Parses an optional numeric option, failing loudly on garbage so
+    /// sweep scripts never run with silently-downgraded settings.
+    fn numeric(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} expects a non-negative integer, got '{v}'")),
+        }
     }
 }
 
@@ -100,7 +140,9 @@ fn parse_scale(s: Option<&str>) -> Option<Scale> {
     }
 }
 
-fn config_from(args: &Args) -> SystemConfig {
+/// Builds the [`SystemConfig`] from the shared config flags. Invalid
+/// numeric values are a hard usage error, not a silent downgrade.
+fn config_from(args: &Args) -> Result<SystemConfig, String> {
     let mut cfg = if args.flag("large") {
         SystemConfig::large()
     } else {
@@ -110,17 +152,8 @@ fn config_from(args: &Args) -> SystemConfig {
         cfg.write_policy = WritePolicy::WriteThrough;
     }
     cfg.lease_renewal = args.flag("lease-renewal");
-    cfg.l1x_prefetch_degree = match args.get("prefetch") {
-        Some(v) => match v.parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("warning: --prefetch expects a number, got '{v}'; using 0");
-                0
-            }
-        },
-        None => 0,
-    };
-    cfg
+    cfg.l1x_prefetch_degree = args.numeric("prefetch")?.unwrap_or(0);
+    Ok(cfg)
 }
 
 /// Minimal JSON emitter for the result (no external JSON dependency).
@@ -233,10 +266,118 @@ fn report(res: &SimResult, json: bool) {
     );
 }
 
-fn run(system: SystemKind, wl: &Workload, args: &Args) {
-    let cfg = config_from(args);
-    let res = run_system(system, wl, &cfg);
-    report(&res, args.flag("json"));
+fn run(system: SystemKind, wl: &Workload, cfg: &SystemConfig, json: bool) {
+    let res = run_system(system, wl, cfg);
+    report(&res, json);
+}
+
+/// `compare`: all four systems on one suite, over the sweep pool with a
+/// single shared trace, with per-job host timings.
+fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<(), String> {
+    let cfg = config_from(args)?;
+    let mut sweep = Sweep::new(scale);
+    if let Some(n) = args.numeric("threads")? {
+        sweep = sweep.threads(n);
+    }
+    let jobs: Vec<SweepJob> = [
+        SystemKind::Scratch,
+        SystemKind::Shared,
+        SystemKind::Fusion,
+        SystemKind::FusionDx,
+    ]
+    .into_iter()
+    .map(|kind| SweepJob::new(kind, suite, cfg.clone()))
+    .collect();
+    let pool = sweep.pool_size(jobs.len());
+    let started = std::time::Instant::now();
+    let outcomes = sweep.run(jobs);
+    let total = started.elapsed();
+    println!(
+        "{:<10} {:>12} {:>8} {:>14} {:>10} {:>10} {:>9}",
+        "system", "cycles", "dma%", "cache energy", "L2 acc", "LtU mean", "wall ms"
+    );
+    for o in &outcomes {
+        let res = &o.result;
+        println!(
+            "{:<10} {:>12} {:>8.2} {:>14} {:>10} {:>10.1} {:>9.1}",
+            res.system,
+            res.total_cycles,
+            res.dma_time_fraction(),
+            res.cache_energy().to_string(),
+            res.l2_accesses,
+            res.latency.mean(),
+            res.metrics.wall_time().as_secs_f64() * 1e3,
+        );
+    }
+    let busy: u64 = outcomes.iter().map(|o| o.result.metrics.wall_nanos).sum();
+    println!(
+        "pool: {pool} worker(s), {:.1} ms wall ({:.1} ms of simulation)",
+        total.as_secs_f64() * 1e3,
+        busy as f64 / 1e6,
+    );
+    Ok(())
+}
+
+/// `sweep`: the full 4-system × 7-suite grid over the worker pool.
+fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
+    let cfg = config_from(args)?;
+    let mut sweep = Sweep::new(scale);
+    if let Some(n) = args.numeric("threads")? {
+        sweep = sweep.threads(n);
+    }
+    let jobs = full_grid(&cfg);
+    let pool = sweep.pool_size(jobs.len());
+    let started = std::time::Instant::now();
+    let outcomes = sweep.run(jobs);
+    let total = started.elapsed();
+    if args.flag("json") {
+        // One JSON object per grid point; the "result" payload is exactly
+        // what `sim run --json` prints for the same (system, suite, config).
+        println!("[");
+        for (i, o) in outcomes.iter().enumerate() {
+            let m = o.result.metrics;
+            println!(
+                "{{\"suite\":\"{}\",\"system\":\"{}\",\"wall_ms\":{:.3},\
+                 \"queue_delay_ms\":{:.3},\"sim_events\":{},\"result\":{}}}{}",
+                o.job.suite.label(),
+                o.job.system.label(),
+                m.wall_time().as_secs_f64() * 1e3,
+                m.queue_delay().as_secs_f64() * 1e3,
+                m.sim_events,
+                result_to_json(&o.result),
+                if i + 1 < outcomes.len() { "," } else { "" },
+            );
+        }
+        println!("]");
+        return Ok(());
+    }
+    println!(
+        "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9} {:>9}",
+        "suite", "system", "cycles", "cache energy", "events", "wall ms", "queue ms"
+    );
+    for o in &outcomes {
+        let res = &o.result;
+        let m = res.metrics;
+        println!(
+            "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
+            o.job.suite.label(),
+            o.job.system.label(),
+            res.total_cycles,
+            res.cache_energy().to_string(),
+            m.sim_events,
+            m.wall_time().as_secs_f64() * 1e3,
+            m.queue_delay().as_secs_f64() * 1e3,
+        );
+    }
+    let busy: u64 = outcomes.iter().map(|o| o.result.metrics.wall_nanos).sum();
+    println!(
+        "{} jobs on {pool} worker(s): {:.1} ms wall, {:.1} ms of simulation ({:.2}x)",
+        outcomes.len(),
+        total.as_secs_f64() * 1e3,
+        busy as f64 / 1e6,
+        busy as f64 / total.as_nanos().max(1) as f64,
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -244,8 +385,9 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = argv.split_first() else {
         return usage();
     };
-    let Some(args) = Args::parse(rest) else {
-        return usage();
+    let args = match Args::parse(rest) {
+        Ok(args) => args,
+        Err(e) => return usage_error(&e),
     };
     match cmd.as_str() {
         "run" => {
@@ -258,8 +400,12 @@ fn main() -> ExitCode {
             let Some(scale) = parse_scale(args.get("scale")) else {
                 return usage();
             };
+            let cfg = match config_from(&args) {
+                Ok(cfg) => cfg,
+                Err(e) => return usage_error(&e),
+            };
             let wl = build_suite(suite, scale);
-            run(system, &wl, &args);
+            run(system, &wl, &cfg, args.flag("json"));
         }
         "trace" => {
             let (Some(suite), Some(out)) =
@@ -296,28 +442,16 @@ fn main() -> ExitCode {
             let Some(scale) = parse_scale(args.get("scale")) else {
                 return usage();
             };
-            let wl = build_suite(suite, scale);
-            let cfg = config_from(&args);
-            println!(
-                "{:<10} {:>12} {:>8} {:>14} {:>10} {:>10}",
-                "system", "cycles", "dma%", "cache energy", "L2 acc", "LtU mean"
-            );
-            for kind in [
-                SystemKind::Scratch,
-                SystemKind::Shared,
-                SystemKind::Fusion,
-                SystemKind::FusionDx,
-            ] {
-                let res = run_system(kind, &wl, &cfg);
-                println!(
-                    "{:<10} {:>12} {:>8.2} {:>14} {:>10} {:>10.1}",
-                    res.system,
-                    res.total_cycles,
-                    res.dma_time_fraction(),
-                    res.cache_energy().to_string(),
-                    res.l2_accesses,
-                    res.latency.mean(),
-                );
+            if let Err(e) = compare(suite, scale, &args) {
+                return usage_error(&e);
+            }
+        }
+        "sweep" => {
+            let Some(scale) = parse_scale(args.get("scale")) else {
+                return usage();
+            };
+            if let Err(e) = sweep_cmd(scale, &args) {
+                return usage_error(&e);
             }
         }
         "replay" => {
@@ -333,6 +467,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let cfg = match config_from(&args) {
+                Ok(cfg) => cfg,
+                Err(e) => return usage_error(&e),
+            };
             let wl = match trace_io::read_workload(file) {
                 Ok(wl) => wl,
                 Err(e) => {
@@ -340,9 +478,91 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            run(system, &wl, &args);
+            run(system, &wl, &cfg, args.flag("json"));
         }
-        _ => return usage(),
+        other => return usage_error(&format!("unknown subcommand '{other}'")),
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_separates_flags_from_valued_options() {
+        let args = Args::parse(&argv(&[
+            "--system",
+            "fu",
+            "--json",
+            "--prefetch",
+            "4",
+            "--write-through",
+        ]))
+        .unwrap();
+        assert_eq!(args.get("system"), Some("fu"));
+        assert_eq!(args.get("prefetch"), Some("4"));
+        assert!(args.flag("json"));
+        assert!(args.flag("write-through"));
+        assert!(!args.flag("large"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bare_tokens() {
+        assert!(Args::parse(&argv(&["--bogus", "1"]))
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(Args::parse(&argv(&["fft"]))
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(Args::parse(&argv(&["--suite"]))
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn invalid_numeric_values_are_hard_errors() {
+        let args = Args::parse(&argv(&["--prefetch", "garbage"])).unwrap();
+        let err = config_from(&args).unwrap_err();
+        assert!(err.contains("--prefetch"), "{err}");
+        assert!(err.contains("garbage"), "{err}");
+        let args = Args::parse(&argv(&["--threads", "-2"])).unwrap();
+        assert!(args.numeric("threads").is_err());
+    }
+
+    #[test]
+    fn config_flags_round_trip() {
+        let args = Args::parse(&argv(&[
+            "--large",
+            "--write-through",
+            "--lease-renewal",
+            "--prefetch",
+            "2",
+        ]))
+        .unwrap();
+        let cfg = config_from(&args).unwrap();
+        assert_eq!(cfg.write_policy, WritePolicy::WriteThrough);
+        assert!(cfg.lease_renewal);
+        assert_eq!(cfg.l1x_prefetch_degree, 2);
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand_and_option() {
+        for needle in [
+            "run",
+            "trace",
+            "replay",
+            "compare",
+            "sweep",
+            "--prefetch",
+            "--threads",
+            "--json",
+        ] {
+            assert!(USAGE.contains(needle), "usage text missing '{needle}'");
+        }
+    }
 }

@@ -2,10 +2,14 @@
 //! evaluation.
 //!
 //! Usage: `tables [table1|table2|table3|fig6a|fig6b|fig6c|fig6d|table4|
-//! table5|fig7|table6|all] [tiny|small|paper]`
+//! table5|fig7|table6|all] [tiny|small|paper] [threads]`
+//!
+//! The simulations run over the shared-trace worker pool of
+//! [`fusion_core::sweep`]; the optional third argument pins the worker
+//! count (default: all available cores).
 
 use fusion_bench::*;
-use fusion_workloads::Scale;
+use fusion_workloads::{all_suites, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,6 +19,14 @@ fn main() {
         Some("small") => Scale::Small,
         _ => Scale::Paper,
     };
+    let threads = match args.get(2).map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            eprintln!("threads must be a non-negative integer, got '{}'", args[2]);
+            std::process::exit(2);
+        }
+    };
 
     if which == "table2" {
         print!("{}", render_table2());
@@ -22,7 +34,7 @@ fn main() {
     }
 
     eprintln!("simulating all systems at {scale:?} scale...");
-    let runs = SuiteRun::simulate_all(scale);
+    let runs = SuiteRun::simulate_suites(&all_suites(), scale, threads);
     let sections: [(&str, String); 12] = [
         ("csv", render_csv(&runs)),
         ("table1", render_table1(&runs)),

@@ -8,21 +8,23 @@
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use fusion_accel::analysis::{self, dma_windows, forward_pairs};
 use fusion_accel::Workload;
-use fusion_core::{run_system, SimResult, SystemKind};
+use fusion_core::{SimResult, Sweep, SweepJob, SystemKind, TraceCache};
 use fusion_energy::Component;
 use fusion_types::{SystemConfig, WritePolicy, CACHE_BLOCK_BYTES, FLIT_BYTES};
-use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
+use fusion_workloads::{all_suites, Scale, SuiteId};
 
 /// All simulations needed for one suite's rows.
 #[derive(Debug)]
 pub struct SuiteRun {
     /// Suite identity.
     pub id: SuiteId,
-    /// The workload trace.
-    pub workload: Workload,
+    /// The workload trace, shared with the sweep pool that produced the
+    /// results (materialized once per suite).
+    pub workload: Arc<Workload>,
     /// SCRATCH result (small config).
     pub scratch: SimResult,
     /// SHARED result (small config).
@@ -37,32 +39,79 @@ pub struct SuiteRun {
     pub fusion_large: SimResult,
 }
 
+/// The six `(system, config)` variants the evaluation needs per suite, in
+/// the fixed order [`SuiteRun::simulate_suites`] reassembles them in.
+fn suite_variants() -> [(SystemKind, SystemConfig); 6] {
+    let small = SystemConfig::small();
+    [
+        (SystemKind::Scratch, small.clone()),
+        (SystemKind::Shared, small.clone()),
+        (SystemKind::Fusion, small.clone()),
+        (SystemKind::FusionDx, small.clone()),
+        (
+            SystemKind::Fusion,
+            small.with_write_policy(WritePolicy::WriteThrough),
+        ),
+        (SystemKind::Fusion, SystemConfig::large()),
+    ]
+}
+
 impl SuiteRun {
     /// Runs every configuration the evaluation needs for `id`.
     pub fn simulate(id: SuiteId, scale: Scale) -> SuiteRun {
-        let cfg = SystemConfig::small();
-        let workload = build_suite(id, scale);
-        SuiteRun {
-            id,
-            scratch: run_system(SystemKind::Scratch, &workload, &cfg),
-            shared: run_system(SystemKind::Shared, &workload, &cfg),
-            fusion: run_system(SystemKind::Fusion, &workload, &cfg),
-            fusion_dx: run_system(SystemKind::FusionDx, &workload, &cfg),
-            fusion_wt: run_system(
-                SystemKind::Fusion,
-                &workload,
-                &cfg.clone().with_write_policy(WritePolicy::WriteThrough),
-            ),
-            fusion_large: run_system(SystemKind::Fusion, &workload, &SystemConfig::large()),
-            workload,
-        }
+        Self::simulate_suites(&[id], scale, None)
+            .pop()
+            .expect("one suite in, one run out")
     }
 
-    /// Runs all seven suites.
+    /// Runs all seven suites over the shared sweep pool.
     pub fn simulate_all(scale: Scale) -> Vec<SuiteRun> {
-        all_suites()
-            .into_iter()
-            .map(|id| Self::simulate(id, scale))
+        Self::simulate_suites(&all_suites(), scale, None)
+    }
+
+    /// Runs the given suites as one sweep grid: each suite's trace is
+    /// materialized once and every `(suite, variant)` job fans out over
+    /// the worker pool ([`fusion_core::sweep`]). `threads` overrides the
+    /// pool size (`None` = `available_parallelism`).
+    pub fn simulate_suites(
+        suites: &[SuiteId],
+        scale: Scale,
+        threads: Option<usize>,
+    ) -> Vec<SuiteRun> {
+        let jobs: Vec<SweepJob> = suites
+            .iter()
+            .flat_map(|&id| {
+                suite_variants()
+                    .into_iter()
+                    .map(move |(system, config)| SweepJob::new(system, id, config))
+            })
+            .collect();
+        let traces = Arc::new(TraceCache::new());
+        let mut sweep = Sweep::new(scale).with_trace_cache(Arc::clone(&traces));
+        if let Some(t) = threads {
+            sweep = sweep.threads(t);
+        }
+        let mut outcomes = sweep.run(jobs).into_iter();
+        suites
+            .iter()
+            .map(|&id| {
+                let mut next = || {
+                    outcomes
+                        .next()
+                        .expect("sweep returns one outcome per job, in grid order")
+                        .result
+                };
+                SuiteRun {
+                    id,
+                    scratch: next(),
+                    shared: next(),
+                    fusion: next(),
+                    fusion_dx: next(),
+                    fusion_wt: next(),
+                    fusion_large: next(),
+                    workload: traces.get(id, scale),
+                }
+            })
             .collect()
     }
 }
@@ -547,6 +596,7 @@ pub fn forwardable_pairs(wl: &Workload) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusion_workloads::build_suite;
 
     fn tiny_run() -> SuiteRun {
         SuiteRun::simulate(SuiteId::Adpcm, Scale::Tiny)

@@ -18,7 +18,10 @@
 //! [`runner::run_system`] executes a workload on a system and returns a
 //! [`result::SimResult`] with the cycle counts, the Figure 6a energy
 //! breakdown, the Figure 6c traffic counts and the Table 6 translation
-//! statistics.
+//! statistics. [`sweep::Sweep`] fans a whole grid of
+//! `(system, suite, config)` jobs out over a worker pool with each suite's
+//! trace materialized once — the substrate behind `sim sweep`,
+//! `sim compare` and the `tables` binary.
 //!
 //! # Examples
 //!
@@ -35,7 +38,9 @@
 pub mod host;
 pub mod result;
 pub mod runner;
+pub mod sweep;
 pub mod systems;
 
-pub use result::{PhaseResult, SimResult, Traffic};
+pub use result::{PhaseResult, RunMetrics, SimResult, Traffic};
 pub use runner::{run_system, SystemKind};
+pub use sweep::{full_grid, Sweep, SweepJob, SweepOutcome, TraceCache};

@@ -39,8 +39,49 @@ pub struct Traffic {
     pub flits_axc_l1x: Flits,
 }
 
+/// Measurement metadata attached to a [`SimResult`] by the runner and the
+/// sweep layer: how long the simulation took on the host machine and how
+/// much simulated activity it processed.
+///
+/// These values describe the *measurement*, not the simulated machine, so
+/// they are excluded from [`SimResult`]'s equality: two runs of the same
+/// job compare equal even though their wall times differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    /// Wall-clock nanoseconds the simulation itself took.
+    pub wall_nanos: u64,
+    /// Nanoseconds the job waited between sweep submission and worker
+    /// pickup (zero for direct `run_system` calls).
+    pub queue_delay_nanos: u64,
+    /// Total simulation events processed (energy-ledger activity counts
+    /// across every component).
+    pub sim_events: u64,
+}
+
+impl RunMetrics {
+    /// Wall time as a [`std::time::Duration`].
+    pub fn wall_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.wall_nanos)
+    }
+
+    /// Queue delay as a [`std::time::Duration`].
+    pub fn queue_delay(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.queue_delay_nanos)
+    }
+
+    /// Simulated events per wall-clock second (the sweep's throughput
+    /// figure of merit); zero when no time was measured.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.sim_events as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+}
+
 /// Complete result of one (system, workload) simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// System simulated.
     pub system: &'static str,
@@ -71,9 +112,42 @@ pub struct SimResult {
     /// Distribution of accelerator load-to-use latencies (cycles from
     /// issue to completion, power-of-two buckets).
     pub latency: Histogram,
+    /// Host-side measurement metadata (wall time, queue delay, event
+    /// count), filled by [`crate::runner::run_system`] and the sweep
+    /// worker pool. Excluded from equality.
+    pub metrics: RunMetrics,
+}
+
+/// Equality covers the *simulated* outcome only: [`SimResult::metrics`]
+/// records host-side wall times that legitimately differ between otherwise
+/// identical runs, so it is ignored here. This is what lets the sweep's
+/// determinism guarantee be phrased as `parallel == sequential`.
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.system == other.system
+            && self.workload == other.workload
+            && self.total_cycles == other.total_cycles
+            && self.dma_cycles == other.dma_cycles
+            && self.energy == other.energy
+            && self.phases == other.phases
+            && self.tile == other.tile
+            && self.ax_tlb_lookups == other.ax_tlb_lookups
+            && self.ax_rmap_lookups == other.ax_rmap_lookups
+            && self.host_forwards == other.host_forwards
+            && self.dma_blocks == other.dma_blocks
+            && self.dma_transfers == other.dma_transfers
+            && self.l2_accesses == other.l2_accesses
+            && self.latency == other.latency
+    }
 }
 
 impl SimResult {
+    /// Total simulated activity: the sum of every energy-ledger event
+    /// count. This is the `sim_events` figure the sweep layer reports.
+    pub fn total_sim_events(&self) -> u64 {
+        self.energy.iter().map(|(_, _, n)| n).sum()
+    }
+
     /// Memory-system energy (cache hierarchy + DRAM).
     pub fn memory_energy(&self) -> PicoJoules {
         self.energy.memory_system_total()
@@ -154,6 +228,7 @@ mod tests {
             dma_blocks: 0,
             dma_transfers: 0,
             l2_accesses: 0,
+            metrics: RunMetrics::default(),
         }
     }
 

@@ -53,12 +53,16 @@ impl std::fmt::Display for SystemKind {
 /// assert_eq!(res.system, "SHARED");
 /// ```
 pub fn run_system(kind: SystemKind, workload: &Workload, cfg: &SystemConfig) -> SimResult {
-    match kind {
+    let started = std::time::Instant::now();
+    let mut res = match kind {
         SystemKind::Scratch => ScratchSystem::new(cfg).run(workload),
         SystemKind::Shared => SharedSystem::new(cfg).run(workload),
         SystemKind::Fusion => FusionSystem::new(cfg).run(workload),
         SystemKind::FusionDx => FusionSystem::new_dx(cfg).run(workload),
-    }
+    };
+    res.metrics.wall_nanos = started.elapsed().as_nanos() as u64;
+    res.metrics.sim_events = res.total_sim_events();
+    res
 }
 
 #[cfg(test)]

@@ -1,0 +1,323 @@
+//! Parallel design-space sweep: the substrate behind `sim sweep`,
+//! `sim compare`, the `tables` binary and the criterion benches.
+//!
+//! The paper's evaluation is a grid — 4 systems × 7 suites × configuration
+//! knobs (Figures 6–7, Tables 3–6). This module runs such a grid as a set
+//! of [`SweepJob`]s over a scoped worker pool:
+//!
+//! * **Trace sharing** — each distinct `(suite, scale)` workload is
+//!   materialized exactly once behind an [`Arc<Workload>`] (see
+//!   [`TraceCache`]); every job replaying that suite shares the trace
+//!   instead of re-running the instrumented kernels.
+//! * **Worker pool** — jobs fan out over [`std::thread::scope`] threads,
+//!   sized from [`std::thread::available_parallelism`] (capped by the job
+//!   count, overridable via [`Sweep::threads`]). Workers claim jobs from a
+//!   shared atomic cursor, so long jobs never convoy short ones.
+//! * **Determinism** — every simulation is a pure function of its
+//!   `(system, workload, config)` inputs. Results are written into
+//!   per-job slots, so the output order is the grid order regardless of
+//!   which worker finished first, and each [`SimResult`] is identical to
+//!   what a sequential [`run_system`] call produces (equality ignores the
+//!   wall-time metadata; see [`crate::result::RunMetrics`]).
+//!
+//! Per-job host-side measurements — wall time, queue delay (submission to
+//! worker pickup) and the simulated event count — come back attached to
+//! each result's [`SimResult::metrics`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_core::sweep::{full_grid, Sweep};
+//! use fusion_types::SystemConfig;
+//! use fusion_workloads::Scale;
+//!
+//! let jobs = full_grid(&SystemConfig::small());
+//! assert_eq!(jobs.len(), 4 * 7);
+//! let outcomes = Sweep::new(Scale::Tiny).run(jobs);
+//! assert_eq!(outcomes.len(), 4 * 7);
+//! assert!(outcomes.iter().all(|o| o.result.total_cycles > 0));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fusion_accel::Workload;
+use fusion_types::SystemConfig;
+use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
+
+use crate::result::SimResult;
+use crate::runner::{run_system, SystemKind};
+
+/// One point of the design-space grid: a system, the suite whose trace it
+/// replays, and the configuration to simulate under.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Architecture to simulate.
+    pub system: SystemKind,
+    /// Workload suite to replay.
+    pub suite: SuiteId,
+    /// Configuration knobs (cache sizes, write policy, prefetch, ...).
+    pub config: SystemConfig,
+}
+
+impl SweepJob {
+    /// Convenience constructor for the common default-config case.
+    pub fn new(system: SystemKind, suite: SuiteId, config: SystemConfig) -> SweepJob {
+        SweepJob {
+            system,
+            suite,
+            config,
+        }
+    }
+}
+
+/// One finished grid point: the job echoed back plus its simulation
+/// result, with [`SimResult::metrics`] filled in by the pool.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The grid point that was run.
+    pub job: SweepJob,
+    /// The simulation result (identical to a sequential `run_system`).
+    pub result: SimResult,
+}
+
+/// The full evaluation grid at one configuration: every system of
+/// Section 5 × every suite of Table 1, in deterministic figure order
+/// (suites outer, systems inner).
+pub fn full_grid(cfg: &SystemConfig) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(4 * 7);
+    for suite in all_suites() {
+        for system in [
+            SystemKind::Scratch,
+            SystemKind::Shared,
+            SystemKind::Fusion,
+            SystemKind::FusionDx,
+        ] {
+            jobs.push(SweepJob::new(system, suite, cfg.clone()));
+        }
+    }
+    jobs
+}
+
+/// Workload traces materialized once per `(suite, scale)` and shared
+/// between jobs behind [`Arc`]s.
+///
+/// `build_suite` re-runs the instrumented kernels every call; for a full
+/// grid that is 4–6 rebuilds per suite. The cache makes it exactly one.
+#[derive(Default)]
+pub struct TraceCache {
+    traces: Mutex<HashMap<(SuiteId, Scale), Arc<Workload>>>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// Returns the shared trace for `(suite, scale)`, building it on first
+    /// use.
+    pub fn get(&self, suite: SuiteId, scale: Scale) -> Arc<Workload> {
+        if let Some(wl) = self.traces.lock().unwrap().get(&(suite, scale)) {
+            return Arc::clone(wl);
+        }
+        // Build outside the lock so two suites can materialize
+        // concurrently; on a race the first insert wins and the duplicate
+        // build is dropped.
+        let built = Arc::new(build_suite(suite, scale));
+        Arc::clone(
+            self.traces
+                .lock()
+                .unwrap()
+                .entry((suite, scale))
+                .or_insert(built),
+        )
+    }
+
+    /// Number of materialized traces.
+    pub fn len(&self) -> usize {
+        self.traces.lock().unwrap().len()
+    }
+
+    /// Whether the cache has materialized nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sweep executor: owns the scale, the worker-count policy and the trace
+/// cache.
+pub struct Sweep {
+    scale: Scale,
+    threads: Option<usize>,
+    traces: Arc<TraceCache>,
+}
+
+impl Sweep {
+    /// A sweep at `scale` with the default pool size
+    /// (`available_parallelism`, capped by the job count).
+    pub fn new(scale: Scale) -> Sweep {
+        Sweep {
+            scale,
+            threads: None,
+            traces: Arc::new(TraceCache::new()),
+        }
+    }
+
+    /// Overrides the worker count (`1` forces the sequential path; values
+    /// are clamped to at least one).
+    pub fn threads(mut self, threads: usize) -> Sweep {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Shares an existing trace cache (so repeated sweeps — e.g. the
+    /// criterion benches — skip re-materialization entirely).
+    pub fn with_trace_cache(mut self, traces: Arc<TraceCache>) -> Sweep {
+        self.traces = traces;
+        self
+    }
+
+    /// The worker count this sweep would use for `jobs` jobs.
+    pub fn pool_size(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.threads.unwrap_or(hw).min(jobs).max(1)
+    }
+
+    /// Runs every job and returns the outcomes in grid order.
+    ///
+    /// Traces are materialized once per distinct `(suite, scale)` — in
+    /// parallel, ahead of the simulations — then the jobs fan out over the
+    /// worker pool. Each outcome's [`SimResult::metrics`] carries the
+    /// job's wall time, queue delay and simulated event count.
+    pub fn run(&self, jobs: Vec<SweepJob>) -> Vec<SweepOutcome> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.pool_size(jobs.len());
+
+        // Phase 1: materialize each distinct trace exactly once, fanning
+        // the builds out over the same worker budget.
+        let mut distinct: Vec<SuiteId> = Vec::new();
+        for job in &jobs {
+            if !distinct.contains(&job.suite) {
+                distinct.push(job.suite);
+            }
+        }
+        let build_workers = workers.min(distinct.len());
+        let build_cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..build_workers {
+                scope.spawn(|| loop {
+                    let i = build_cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&suite) = distinct.get(i) else { break };
+                    self.traces.get(suite, self.scale);
+                });
+            }
+        });
+
+        // Phase 2: fan the simulations out. Workers claim jobs from a
+        // shared cursor and write into per-job slots, so output order is
+        // grid order no matter the completion order.
+        let submitted = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SweepOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let jobs = &jobs;
+        let slots_ref = &slots;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let queue_delay = submitted.elapsed().as_nanos() as u64;
+                    let trace = self.traces.get(job.suite, self.scale);
+                    let mut result = run_system(job.system, &trace, &job.config);
+                    result.metrics.queue_delay_nanos = queue_delay;
+                    *slots_ref[i].lock().unwrap() = Some(SweepOutcome {
+                        job: job.clone(),
+                        result,
+                    });
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every sweep slot is filled before the scope ends")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_covers_every_pair_in_order() {
+        let jobs = full_grid(&SystemConfig::small());
+        assert_eq!(jobs.len(), 28);
+        assert_eq!(jobs[0].suite, SuiteId::Fft);
+        assert_eq!(jobs[0].system, SystemKind::Scratch);
+        assert_eq!(jobs[3].system, SystemKind::FusionDx);
+        assert_eq!(jobs[4].suite, SuiteId::Disparity);
+        assert_eq!(jobs[27].suite, SuiteId::Histogram);
+    }
+
+    #[test]
+    fn trace_cache_materializes_once() {
+        let cache = TraceCache::new();
+        let a = cache.get(SuiteId::Adpcm, Scale::Tiny);
+        let b = cache.get(SuiteId::Adpcm, Scale::Tiny);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        cache.get(SuiteId::Fft, Scale::Tiny);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sweep_preserves_grid_order_and_fills_metrics() {
+        let jobs = vec![
+            SweepJob::new(SystemKind::Fusion, SuiteId::Adpcm, SystemConfig::small()),
+            SweepJob::new(SystemKind::Scratch, SuiteId::Adpcm, SystemConfig::small()),
+            SweepJob::new(SystemKind::Shared, SuiteId::Filter, SystemConfig::small()),
+        ];
+        let outcomes = Sweep::new(Scale::Tiny).run(jobs);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].result.system, "FUSION");
+        assert_eq!(outcomes[1].result.system, "SCRATCH");
+        assert_eq!(outcomes[2].result.system, "SHARED");
+        for o in &outcomes {
+            assert!(o.result.metrics.wall_nanos > 0, "wall time missing");
+            assert!(o.result.metrics.sim_events > 0, "event count missing");
+        }
+    }
+
+    #[test]
+    fn single_thread_sweep_matches_parallel() {
+        let grid = || {
+            vec![
+                SweepJob::new(SystemKind::Fusion, SuiteId::Fft, SystemConfig::small()),
+                SweepJob::new(SystemKind::FusionDx, SuiteId::Fft, SystemConfig::small()),
+            ]
+        };
+        let seq = Sweep::new(Scale::Tiny).threads(1).run(grid());
+        let par = Sweep::new(Scale::Tiny).threads(4).run(grid());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.result, p.result);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(Sweep::new(Scale::Tiny).run(Vec::new()).is_empty());
+    }
+}

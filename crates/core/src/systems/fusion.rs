@@ -226,6 +226,7 @@ impl FusionSystem {
             phases: phases_out,
             tile: Some(*state.tile.stats()),
             latency,
+            metrics: Default::default(),
         }
     }
 }

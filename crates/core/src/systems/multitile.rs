@@ -297,6 +297,7 @@ impl MultiTileSystem {
                 phases: phase_results[w].clone(),
                 tile: Some(*tiles.tiles[w].tile.stats()),
                 latency: latencies[w].clone(),
+                metrics: Default::default(),
             })
             .collect()
     }

@@ -127,6 +127,7 @@ impl ScratchSystem {
             phases: phases_out,
             tile: None,
             latency,
+            metrics: Default::default(),
         }
     }
 }

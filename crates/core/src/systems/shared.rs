@@ -235,6 +235,7 @@ impl SharedSystem {
             phases: phases_out,
             tile: None,
             latency,
+            metrics: Default::default(),
         }
     }
 }

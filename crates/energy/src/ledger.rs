@@ -4,11 +4,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 
 use fusion_types::PicoJoules;
-use serde::{Deserialize, Serialize};
-
 /// The energy components reported by the paper's evaluation (Figure 6a
 /// stacks plus the translation structures of Table 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Component {
     /// Accelerator-local storage: per-AXC L0X or scratchpad accesses.
     AxcCache,
@@ -125,7 +123,7 @@ impl fmt::Display for Component {
 /// assert_eq!(l.count(Component::L1x), 1);
 /// assert!((l.total().value() - (9.0 + 25.6)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     energy: [f64; Component::ALL.len()],
     counts: [u64; Component::ALL.len()],

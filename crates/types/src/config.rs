@@ -5,10 +5,8 @@
 //! L1X); [`SystemConfig::large`] is the Section 5.5 *LARGE* configuration
 //! (8 KB L0X / 256 KB L1X).
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache or scratchpad.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: usize,
@@ -36,7 +34,7 @@ impl CacheGeometry {
 }
 
 /// Write policy of the private L0X caches (Section 5.3 compares the two).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum WritePolicy {
     /// Dirty data stays in the L0X until self-downgrade (the FUSION default;
     /// the paper calls this "write caching").
@@ -47,7 +45,7 @@ pub enum WritePolicy {
 }
 
 /// Energy and geometry of one on-chip link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Energy per byte moved, in picojoules (Table 2).
     pub pj_per_byte: f64,
@@ -67,7 +65,7 @@ impl LinkConfig {
 }
 
 /// Complete configuration of one simulated system (Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Per-AXC private L0X cache (FUSION) — 4 KB or 8 KB, ITRS HP.
     pub l0x: CacheGeometry,

@@ -1,8 +1,10 @@
 //! Property tests for the timing engines, the DMA controller and the
-//! trace serialization format.
+//! trace serialization format, driven by the seeded deterministic
+//! generator in `common::Rng`.
 
-use proptest::prelude::*;
+mod common;
 
+use common::Rng;
 use fusion_repro::accel::io::{decode_workload, encode_workload};
 use fusion_repro::accel::ooo::{run_host_phase, OooParams};
 use fusion_repro::accel::{run_phase, MemRef, OpCounts, Phase, Workload};
@@ -11,31 +13,37 @@ use fusion_repro::mem::BankedTiming;
 use fusion_repro::types::ids::ExecUnit;
 use fusion_repro::types::{AccessKind, AxcId, BlockAddr, Cycle, LinkConfig, Pid, VirtAddr};
 
-fn memref_strategy() -> impl Strategy<Value = MemRef> {
-    (0u64..(1 << 20), 1u8..=64, any::<bool>(), 0u16..50).prop_map(|(addr, size, write, gap)| {
-        MemRef {
-            addr: VirtAddr::new(addr),
-            size,
-            kind: if write {
-                AccessKind::Store
-            } else {
-                AccessKind::Load
-            },
-            gap,
-        }
-    })
+/// Random sequences explored per property.
+const CASES: u64 = 64;
+
+fn memref(rng: &mut Rng) -> MemRef {
+    MemRef {
+        addr: VirtAddr::new(rng.range_u64(0, 1 << 20)),
+        size: rng.range_u8(1, 65),
+        kind: if rng.chance() {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        },
+        gap: rng.range_u16(0, 50),
+    }
 }
 
-proptest! {
-    /// The accelerator issue engine finishes no earlier than its start and
-    /// no earlier than the last memory completion; issue order respects
-    /// program order.
-    #[test]
-    fn run_phase_end_bounds(
-        refs in prop::collection::vec(memref_strategy(), 0..100),
-        mlp in 1usize..8,
-        latency in 1u64..200,
-    ) {
+fn memrefs(rng: &mut Rng, max: usize) -> Vec<MemRef> {
+    let len = rng.range_usize(0, max);
+    (0..len).map(|_| memref(rng)).collect()
+}
+
+/// The accelerator issue engine finishes no earlier than its start and
+/// no earlier than the last memory completion; issue order respects
+/// program order.
+#[test]
+fn run_phase_end_bounds() {
+    let mut rng = Rng::new(0x9A5E);
+    for _ in 0..CASES {
+        let refs = memrefs(&mut rng, 100);
+        let mlp = rng.range_usize(1, 8);
+        let latency = rng.range_u64(1, 200);
         let mut issues: Vec<Cycle> = Vec::new();
         let mut max_done = Cycle::ZERO;
         let t = run_phase(&refs, mlp, Cycle::new(10), |_r, now| {
@@ -44,36 +52,43 @@ proptest! {
             max_done = max_done.max(done);
             done
         });
-        prop_assert!(issues.windows(2).all(|w| w[0] <= w[1]), "issue order violated");
-        prop_assert_eq!(t.issued, refs.len() as u64);
-        prop_assert!(t.end >= Cycle::new(10));
-        prop_assert!(t.end >= max_done);
+        assert!(
+            issues.windows(2).all(|w| w[0] <= w[1]),
+            "issue order violated"
+        );
+        assert_eq!(t.issued, refs.len() as u64);
+        assert!(t.end >= Cycle::new(10));
+        assert!(t.end >= max_done);
     }
+}
 
-    /// The OOO host engine has the same bounds and never lets completions
-    /// precede issues.
-    #[test]
-    fn ooo_end_bounds(
-        refs in prop::collection::vec(memref_strategy(), 0..100),
-        latency in 1u64..200,
-    ) {
+/// The OOO host engine has the same bounds and never lets completions
+/// precede issues.
+#[test]
+fn ooo_end_bounds() {
+    let mut rng = Rng::new(0x0005);
+    for _ in 0..CASES {
+        let refs = memrefs(&mut rng, 100);
+        let latency = rng.range_u64(1, 200);
         let mut max_done = Cycle::ZERO;
         let t = run_host_phase(&refs, OooParams::default(), Cycle::new(5), |_r, now| {
             let done = now + latency;
             max_done = max_done.max(done);
             done
         });
-        prop_assert_eq!(t.issued, refs.len() as u64);
-        prop_assert!(t.end >= Cycle::new(5));
-        prop_assert!(t.end >= max_done);
+        assert_eq!(t.issued, refs.len() as u64);
+        assert!(t.end >= Cycle::new(5));
+        assert!(t.end >= max_done);
     }
+}
 
-    /// A tighter load queue can only slow a load-only stream down.
-    #[test]
-    fn ooo_smaller_lq_is_never_faster(
-        n in 1usize..60,
-        latency in 1u64..100,
-    ) {
+/// A tighter load queue can only slow a load-only stream down.
+#[test]
+fn ooo_smaller_lq_is_never_faster() {
+    let mut rng = Rng::new(0x10AD);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 60);
+        let latency = rng.range_u64(1, 100);
         let refs: Vec<MemRef> = (0..n)
             .map(|i| MemRef {
                 addr: VirtAddr::new(i as u64 * 64),
@@ -82,91 +97,116 @@ proptest! {
                 gap: 0,
             })
             .collect();
-        let wide = OooParams { load_queue: 32, ..OooParams::default() };
-        let narrow = OooParams { load_queue: 2, ..OooParams::default() };
+        let wide = OooParams {
+            load_queue: 32,
+            ..OooParams::default()
+        };
+        let narrow = OooParams {
+            load_queue: 2,
+            ..OooParams::default()
+        };
         let tw = run_host_phase(&refs, wide, Cycle::ZERO, |_r, now| now + latency);
         let tn = run_host_phase(&refs, narrow, Cycle::ZERO, |_r, now| now + latency);
-        prop_assert!(tn.end >= tw.end, "narrow LQ finished earlier");
+        assert!(tn.end >= tw.end, "narrow LQ finished earlier");
     }
+}
 
-    /// Trace encode/decode is a lossless roundtrip for arbitrary workloads.
-    #[test]
-    fn trace_io_roundtrip(
-        name in "[a-zA-Z0-9_.]{1,16}",
-        pid in 0u32..100,
-        phases in prop::collection::vec(
-            (
-                "[a-z0-9]{1,12}",
-                prop::option::of(0u16..8),
-                1usize..6,
-                1u32..5000,
-                prop::collection::vec(memref_strategy(), 0..50),
-                0u64..1000,
-                0u64..1000,
-            ),
-            0..6,
-        ),
-    ) {
-        let wl = Workload {
-            name,
-            pid: Pid::new(pid),
-            phases: phases
-                .into_iter()
-                .map(|(pname, axc, mlp, lease, refs, int_ops, fp_ops)| Phase {
+/// Trace encode/decode is a lossless roundtrip for arbitrary workloads.
+#[test]
+fn trace_io_roundtrip() {
+    const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.";
+    const PHASE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut rng = Rng::new(0x7ACE);
+    for _ in 0..CASES {
+        let phase_count = rng.range_usize(0, 6);
+        let phases = (0..phase_count)
+            .map(|_| {
+                let pname = rng.ident(PHASE_CHARS, 12);
+                let axc = if rng.chance() {
+                    Some(rng.range_u16(0, 8))
+                } else {
+                    None
+                };
+                Phase {
                     name: pname,
                     unit: match axc {
                         Some(id) => ExecUnit::Axc(AxcId::new(id)),
                         None => ExecUnit::Host,
                     },
-                    refs,
-                    ops: OpCounts { int_ops, fp_ops },
-                    mlp,
-                    lease,
-                })
-                .collect(),
+                    refs: memrefs(&mut rng, 50),
+                    ops: OpCounts {
+                        int_ops: rng.range_u64(0, 1000),
+                        fp_ops: rng.range_u64(0, 1000),
+                    },
+                    mlp: rng.range_usize(1, 6),
+                    lease: rng.range_u32(1, 5000),
+                }
+            })
+            .collect();
+        let wl = Workload {
+            name: rng.ident(NAME_CHARS, 16),
+            pid: Pid::new(rng.range_u32(0, 100)),
+            phases,
         };
         let decoded = decode_workload(&encode_workload(&wl)).unwrap();
-        prop_assert_eq!(decoded, wl);
+        assert_eq!(decoded, wl);
     }
+}
 
-    /// DMA transfers complete monotonically and report exact block counts.
-    #[test]
-    fn dma_transfer_bounds(
-        blocks in prop::collection::vec(0u64..1000, 0..60),
-        start in 0u64..10_000,
-        llc_latency in 1u64..300,
-    ) {
-        let link = LinkConfig { pj_per_byte: 6.0, latency: 8, bytes_per_cycle: 8 };
+/// DMA transfers complete monotonically and report exact block counts.
+#[test]
+fn dma_transfer_bounds() {
+    let mut rng = Rng::new(0xD4A);
+    for _ in 0..CASES {
+        let blocks: Vec<u64> = {
+            let len = rng.range_usize(0, 60);
+            (0..len).map(|_| rng.range_u64(0, 1000)).collect()
+        };
+        let start = rng.range_u64(0, 10_000);
+        let llc_latency = rng.range_u64(1, 300);
+        let link = LinkConfig {
+            pj_per_byte: 6.0,
+            latency: 8,
+            bytes_per_cycle: 8,
+        };
         let mut dma = DmaController::new(link);
         let addrs: Vec<BlockAddr> = blocks.iter().map(|&b| BlockAddr::from_index(b)).collect();
         let t = dma.transfer(&addrs, DmaDirection::In, Cycle::new(start), |_b, at| {
             at + llc_latency
         });
-        prop_assert!(t.done_at >= Cycle::new(start));
-        prop_assert_eq!(t.blocks, addrs.len());
+        assert!(t.done_at >= Cycle::new(start));
+        assert_eq!(t.blocks, addrs.len());
         if !addrs.is_empty() {
             // At least the link serialization time per block.
-            prop_assert!(t.done_at.value() >= start + addrs.len() as u64 * 16);
+            assert!(t.done_at.value() >= start + addrs.len() as u64 * 16);
         }
-        prop_assert_eq!(dma.blocks_in(), addrs.len() as u64);
+        assert_eq!(dma.blocks_in(), addrs.len() as u64);
     }
+}
 
-    /// Banked timing never schedules two same-bank accesses concurrently
-    /// and never goes backwards.
-    #[test]
-    fn banked_timing_serializes(
-        accesses in prop::collection::vec((0u64..64, 0u64..100), 1..100),
-    ) {
+/// Banked timing never schedules two same-bank accesses concurrently
+/// and never goes backwards.
+#[test]
+fn banked_timing_serializes() {
+    let mut rng = Rng::new(0xBA2C);
+    for _ in 0..CASES {
+        let accesses: Vec<(u64, u64)> = {
+            let len = rng.range_usize(1, 100);
+            (0..len)
+                .map(|_| (rng.range_u64(0, 64), rng.range_u64(0, 100)))
+                .collect()
+        };
         let mut banks = BankedTiming::new(8, 3);
-        let mut per_bank_last: std::collections::HashMap<u64, Cycle> = std::collections::HashMap::new();
+        let mut per_bank_last: std::collections::HashMap<u64, Cycle> =
+            std::collections::HashMap::new();
         let mut now = Cycle::ZERO;
         for (block, dt) in accesses {
             now += dt;
             let start = banks.issue(BlockAddr::from_index(block), now);
-            prop_assert!(start >= now);
+            assert!(start >= now);
             let bank = block % 8;
             if let Some(&prev) = per_bank_last.get(&bank) {
-                prop_assert!(start.value() >= prev.value() + 3, "bank occupancy violated");
+                assert!(start.value() >= prev.value() + 3, "bank occupancy violated");
             }
             per_bank_last.insert(bank, start);
         }

@@ -1,11 +1,16 @@
 //! Property-based protocol invariants: the ACC lease protocol, the MESI
 //! directory and the cache structures are driven with random access
 //! sequences and checked against their defining invariants.
+//!
+//! Randomness comes from the seeded deterministic generator in
+//! `common::Rng`, so every run explores the same sequences and failures
+//! reproduce exactly.
+
+mod common;
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
+use common::Rng;
 use fusion_repro::coherence::acc::{AccAccess, AccTile, TileTiming};
 use fusion_repro::coherence::{AgentId, DirectoryMesi, MesiReq};
 use fusion_repro::mem::{ReplacementPolicy, SetAssocCache};
@@ -13,6 +18,9 @@ use fusion_repro::types::{
     AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, PhysAddr, Pid, WritePolicy,
 };
 use fusion_repro::vm::{PageTable, Tlb};
+
+/// Random sequences explored per property.
+const CASES: u64 = 64;
 
 fn tile(axcs: usize) -> AccTile {
     AccTile::new(
@@ -52,77 +60,154 @@ enum TileOp {
     },
 }
 
-fn tile_op() -> impl Strategy<Value = TileOp> {
-    prop_oneof![
-        8 => (0u16..3, 0u64..24, any::<bool>(), 1u16..300).prop_map(|(axc, block, write, dt)| {
-            TileOp::Access { axc, block, write, dt }
-        }),
-        1 => (0u16..3).prop_map(|axc| TileOp::Downgrade { axc }),
-        1 => (0u64..24, 1u16..300).prop_map(|(block, dt)| TileOp::HostForward { block, dt }),
-    ]
+/// Draws one tile operation with the 8:1:1 access/downgrade/forward mix
+/// the proptest strategy used.
+fn tile_op(rng: &mut Rng) -> TileOp {
+    match rng.range_u64(0, 10) {
+        0..=7 => TileOp::Access {
+            axc: rng.range_u16(0, 3),
+            block: rng.range_u64(0, 24),
+            write: rng.chance(),
+            dt: rng.range_u16(1, 300),
+        },
+        8 => TileOp::Downgrade {
+            axc: rng.range_u16(0, 3),
+        },
+        _ => TileOp::HostForward {
+            block: rng.range_u64(0, 24),
+            dt: rng.range_u16(1, 300),
+        },
+    }
 }
 
-proptest! {
-    /// ACC liveness + monotonicity: every access completes at or after its
-    /// issue time, and host forwards release no earlier than requested.
-    #[test]
-    fn acc_accesses_always_complete_forward(ops in prop::collection::vec(tile_op(), 1..200)) {
+fn tile_ops(rng: &mut Rng) -> Vec<TileOp> {
+    let len = rng.range_usize(1, 200);
+    (0..len).map(|_| tile_op(rng)).collect()
+}
+
+/// ACC liveness + monotonicity: every access completes at or after its
+/// issue time, and host forwards release no earlier than requested.
+#[test]
+fn acc_accesses_always_complete_forward() {
+    let mut rng = Rng::new(0xACC1);
+    for _ in 0..CASES {
+        let ops = tile_ops(&mut rng);
         let mut t = tile(3);
         let pid = Pid::new(1);
         let mut now = Cycle::new(0);
         for op in ops {
             match op {
-                TileOp::Access { axc, block, write, dt } => {
+                TileOp::Access {
+                    axc,
+                    block,
+                    write,
+                    dt,
+                } => {
                     now += dt as u64;
-                    let kind = if write { AccessKind::Store } else { AccessKind::Load };
-                    let done = match t.axc_access(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, now, 100) {
+                    let kind = if write {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    let done = match t.axc_access(
+                        AxcId::new(axc),
+                        pid,
+                        BlockAddr::from_index(block),
+                        kind,
+                        now,
+                        100,
+                    ) {
                         AccAccess::L0Hit { done_at } | AccAccess::L1Served { done_at } => done_at,
                         AccAccess::FillNeeded { request_at } => {
-                            prop_assert!(request_at >= now);
-                            t.complete_fill(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, request_at + 40, 100).done_at
+                            assert!(request_at >= now);
+                            t.complete_fill(
+                                AxcId::new(axc),
+                                pid,
+                                BlockAddr::from_index(block),
+                                kind,
+                                request_at + 40,
+                                100,
+                            )
+                            .done_at
                         }
                     };
-                    prop_assert!(done >= now, "completion {done} before issue {now}");
+                    assert!(done >= now, "completion {done} before issue {now}");
                 }
                 TileOp::Downgrade { axc } => t.downgrade_all(AxcId::new(axc), pid, now),
                 TileOp::HostForward { block, dt } => {
                     now += dt as u64;
                     let fwd = t.host_forward(pid, BlockAddr::from_index(block), now);
-                    prop_assert!(fwd.release_at >= now, "PUTX released in the past");
+                    assert!(fwd.release_at >= now, "PUTX released in the past");
                 }
             }
         }
     }
+}
 
-    /// ACC accounting: hits + misses == accesses, and every miss sent
-    /// exactly one request message.
-    #[test]
-    fn acc_counter_consistency(ops in prop::collection::vec(tile_op(), 1..200)) {
+/// ACC accounting: hits + misses == accesses, and every miss sent
+/// exactly one request message.
+#[test]
+fn acc_counter_consistency() {
+    let mut rng = Rng::new(0xACC2);
+    for _ in 0..CASES {
+        let ops = tile_ops(&mut rng);
         let mut t = tile(3);
         let pid = Pid::new(1);
         let mut now = Cycle::new(0);
         for op in ops {
-            if let TileOp::Access { axc, block, write, dt } = op {
+            if let TileOp::Access {
+                axc,
+                block,
+                write,
+                dt,
+            } = op
+            {
                 now += dt as u64;
-                let kind = if write { AccessKind::Store } else { AccessKind::Load };
-                if let AccAccess::FillNeeded { request_at } =
-                    t.axc_access(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, now, 100)
-                {
-                    t.complete_fill(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, request_at + 40, 100);
+                let kind = if write {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                if let AccAccess::FillNeeded { request_at } = t.axc_access(
+                    AxcId::new(axc),
+                    pid,
+                    BlockAddr::from_index(block),
+                    kind,
+                    now,
+                    100,
+                ) {
+                    t.complete_fill(
+                        AxcId::new(axc),
+                        pid,
+                        BlockAddr::from_index(block),
+                        kind,
+                        request_at + 40,
+                        100,
+                    );
                 }
             }
         }
         let s = t.stats();
-        prop_assert_eq!(s.l0_hits + s.l0_misses, s.l0_accesses);
-        prop_assert_eq!(s.msgs_l0_to_l1, s.l0_misses);
-        prop_assert_eq!(s.l1_hits + s.l1_misses, s.l0_misses);
-        prop_assert_eq!(s.data_l1_to_l0, s.l0_misses, "every miss gets one data response");
+        assert_eq!(s.l0_hits + s.l0_misses, s.l0_accesses);
+        assert_eq!(s.msgs_l0_to_l1, s.l0_misses);
+        assert_eq!(s.l1_hits + s.l1_misses, s.l0_misses);
+        assert_eq!(
+            s.data_l1_to_l0, s.l0_misses,
+            "every miss gets one data response"
+        );
     }
+}
 
-    /// After a host forward, the tile no longer caches the block at the
-    /// L1X, so the directory can hand ownership to the host.
-    #[test]
-    fn acc_host_forward_relinquishes(blocks in prop::collection::vec(0u64..16, 1..40)) {
+/// After a host forward, the tile no longer caches the block at the
+/// L1X, so the directory can hand ownership to the host.
+#[test]
+fn acc_host_forward_relinquishes() {
+    let mut rng = Rng::new(0xACC3);
+    for _ in 0..CASES {
+        let blocks: Vec<u64> = {
+            let len = rng.range_usize(1, 40);
+            (0..len).map(|_| rng.range_u64(0, 16)).collect()
+        };
         let mut t = tile(2);
         let pid = Pid::new(1);
         let mut now = Cycle::new(0);
@@ -132,67 +217,106 @@ proptest! {
             if let AccAccess::FillNeeded { request_at } =
                 t.axc_access(AxcId::new(0), pid, block, AccessKind::Store, now, 100)
             {
-                t.complete_fill(AxcId::new(0), pid, block, AccessKind::Store, request_at + 40, 100);
+                t.complete_fill(
+                    AxcId::new(0),
+                    pid,
+                    block,
+                    AccessKind::Store,
+                    request_at + 40,
+                    100,
+                );
             }
         }
         for &b in &blocks {
             now += 10;
             t.host_forward(pid, BlockAddr::from_index(b), now);
-            prop_assert!(!t.l1x_caches(pid, BlockAddr::from_index(b)));
+            assert!(!t.l1x_caches(pid, BlockAddr::from_index(b)));
         }
     }
+}
 
-    /// MESI single-owner invariant: after any request sequence, at most
-    /// one agent owns a block exclusively, and the directory's answer is
-    /// consistent with the request history.
-    #[test]
-    fn mesi_single_owner(reqs in prop::collection::vec((0u8..2, 0u64..16, any::<bool>()), 1..100)) {
+/// MESI single-owner invariant: after any request sequence, at most
+/// one agent owns a block exclusively, and the directory's answer is
+/// consistent with the request history.
+#[test]
+fn mesi_single_owner() {
+    let mut rng = Rng::new(0x4E51);
+    for _ in 0..CASES {
+        let reqs: Vec<(u8, u64, bool)> = {
+            let len = rng.range_usize(1, 100);
+            (0..len)
+                .map(|_| (rng.range_u8(0, 2), rng.range_u64(0, 16), rng.chance()))
+                .collect()
+        };
         let mut dir = DirectoryMesi::table2();
         let mut last_exclusive: HashMap<u64, u8> = HashMap::new();
         for (agent, block, is_getx) in reqs {
             let pa = PhysAddr::new(block * 64);
-            let req = if is_getx { MesiReq::GetX } else { MesiReq::GetS };
+            let req = if is_getx {
+                MesiReq::GetX
+            } else {
+                MesiReq::GetS
+            };
             let out = dir.request(AgentId(agent), pa, req);
             // An agent never receives a forward/invalidation for its own
             // request.
-            prop_assert!(!out.forwarded_to.contains(&AgentId(agent)));
-            prop_assert!(!out.invalidated.contains(&AgentId(agent)));
+            assert!(!out.forwarded_to.contains(&AgentId(agent)));
+            assert!(!out.invalidated.contains(&AgentId(agent)));
             if is_getx {
                 last_exclusive.insert(block, agent);
             }
             // The last GetX issuer owns the block unless someone read it
             // afterwards.
             if let Some(owner) = dir.owner(pa) {
-                prop_assert!(dir.agent_caches(owner, pa));
+                assert!(dir.agent_caches(owner, pa));
             }
         }
     }
+}
 
-    /// The cache never exceeds its capacity and never loses a block
-    /// without an eviction: model-checked against a HashMap.
-    #[test]
-    fn cache_matches_map_model(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
-        let geom = CacheGeometry { capacity_bytes: 1024, ways: 2, banks: 1, latency: 1 };
+/// The cache never exceeds its capacity and never loses a block
+/// without an eviction: model-checked against a HashMap.
+#[test]
+fn cache_matches_map_model() {
+    let mut rng = Rng::new(0xCACE);
+    for _ in 0..CASES {
+        let ops: Vec<u64> = {
+            let len = rng.range_usize(1, 300);
+            (0..len).map(|_| rng.range_u64(0, 64)).collect()
+        };
+        let geom = CacheGeometry {
+            capacity_bytes: 1024,
+            ways: 2,
+            banks: 1,
+            latency: 1,
+        };
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut model: HashMap<u64, u64> = HashMap::new();
         let pid = Pid::new(1);
-        for (i, (block, _)) in ops.iter().enumerate() {
+        for (i, block) in ops.iter().enumerate() {
             let b = BlockAddr::from_index(*block);
             if let Some(ev) = cache.insert(pid, b, i as u64, false) {
                 model.remove(&ev.block.index());
             }
             model.insert(*block, i as u64);
-            prop_assert!(cache.len() <= geom.blocks());
+            assert!(cache.len() <= geom.blocks());
             // Everything the cache holds agrees with the model.
             for line in cache.iter() {
-                prop_assert_eq!(model.get(&line.block.index()), Some(&line.meta));
+                assert_eq!(model.get(&line.block.index()), Some(&line.meta));
             }
         }
     }
+}
 
-    /// TLB translations always agree with the page table.
-    #[test]
-    fn tlb_agrees_with_page_table(addrs in prop::collection::vec(0u64..(1 << 20), 1..200)) {
+/// TLB translations always agree with the page table.
+#[test]
+fn tlb_agrees_with_page_table() {
+    let mut rng = Rng::new(0x71B);
+    for _ in 0..CASES {
+        let addrs: Vec<u64> = {
+            let len = rng.range_usize(1, 200);
+            (0..len).map(|_| rng.range_u64(0, 1 << 20)).collect()
+        };
         let mut pt = PageTable::new();
         let mut tlb = Tlb::new(8);
         let pid = Pid::new(1);
@@ -200,17 +324,19 @@ proptest! {
             let va = fusion_repro::types::VirtAddr::new(a);
             let via_tlb = tlb.translate(pid, va, &mut pt);
             let direct = pt.lookup(pid, va).expect("translated page must exist");
-            prop_assert_eq!(via_tlb, direct);
-            prop_assert_eq!(via_tlb.page_offset(), va.page_offset());
+            assert_eq!(via_tlb, direct);
+            assert_eq!(via_tlb.page_offset(), va.page_offset());
         }
     }
 }
 
-proptest! {
-    /// The same liveness/accounting invariants hold with every protocol
-    /// extension enabled (lease renewal + interleaved prefetch installs).
-    #[test]
-    fn acc_invariants_hold_with_extensions(ops in prop::collection::vec(tile_op(), 1..200)) {
+/// The same liveness/accounting invariants hold with every protocol
+/// extension enabled (lease renewal + interleaved prefetch installs).
+#[test]
+fn acc_invariants_hold_with_extensions() {
+    let mut rng = Rng::new(0xE71);
+    for _ in 0..CASES {
+        let ops = tile_ops(&mut rng);
         let mut t = tile(3);
         t.set_lease_renewal(true);
         let pid = Pid::new(1);
@@ -224,40 +350,69 @@ proptest! {
                 t.prefetch_install(pid, BlockAddr::from_index(op_index % 24), now);
             }
             match op {
-                TileOp::Access { axc, block, write, dt } => {
+                TileOp::Access {
+                    axc,
+                    block,
+                    write,
+                    dt,
+                } => {
                     now += dt as u64;
-                    let kind = if write { AccessKind::Store } else { AccessKind::Load };
-                    let done = match t.axc_access(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, now, 100) {
+                    let kind = if write {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    let done = match t.axc_access(
+                        AxcId::new(axc),
+                        pid,
+                        BlockAddr::from_index(block),
+                        kind,
+                        now,
+                        100,
+                    ) {
                         AccAccess::L0Hit { done_at } | AccAccess::L1Served { done_at } => done_at,
                         AccAccess::FillNeeded { request_at } => {
-                            t.complete_fill(AxcId::new(axc), pid, BlockAddr::from_index(block), kind, request_at + 40, 100).done_at
+                            t.complete_fill(
+                                AxcId::new(axc),
+                                pid,
+                                BlockAddr::from_index(block),
+                                kind,
+                                request_at + 40,
+                                100,
+                            )
+                            .done_at
                         }
                     };
-                    prop_assert!(done >= now);
+                    assert!(done >= now);
                 }
                 TileOp::Downgrade { axc } => t.downgrade_all(AxcId::new(axc), pid, now),
                 TileOp::HostForward { block, dt } => {
                     now += dt as u64;
                     let fwd = t.host_forward(pid, BlockAddr::from_index(block), now);
-                    prop_assert!(fwd.release_at >= now);
+                    assert!(fwd.release_at >= now);
                 }
             }
         }
         let s = t.stats();
-        prop_assert_eq!(s.l0_hits + s.l0_misses, s.l0_accesses);
-        prop_assert!(s.prefetch_hits <= s.prefetch_installs);
-        prop_assert!(s.lease_renewals <= s.l0_lease_expiries);
+        assert_eq!(s.l0_hits + s.l0_misses, s.l0_accesses);
+        assert!(s.prefetch_hits <= s.prefetch_installs);
+        assert!(s.lease_renewals <= s.l0_lease_expiries);
     }
+}
 
-    /// NUCA ring latency is symmetric and bounded by the half-ring.
-    #[test]
-    fn nuca_latency_symmetric_and_bounded(block in 0u64..10_000, from in 0u64..8) {
+/// NUCA ring latency is symmetric and bounded by the half-ring.
+#[test]
+fn nuca_latency_symmetric_and_bounded() {
+    let mut rng = Rng::new(0x20CA);
+    for _ in 0..256 {
+        let block = rng.range_u64(0, 10_000);
+        let from = rng.range_u64(0, 8);
         let nuca = fusion_repro::mem::NucaRing::table2();
         let b = BlockAddr::from_index(block);
         let home = nuca.home_tile(b);
-        prop_assert_eq!(nuca.distance(home, from), nuca.distance(from, home));
+        assert_eq!(nuca.distance(home, from), nuca.distance(from, home));
         let lat = nuca.latency(b, from);
-        prop_assert!((12..=12 + 4 * 4).contains(&lat), "latency {lat}");
+        assert!((12..=12 + 4 * 4).contains(&lat), "latency {lat}");
     }
 }
 

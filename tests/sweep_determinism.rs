@@ -1,0 +1,51 @@
+//! The sweep subsystem's central guarantee: fanning the evaluation grid
+//! over the worker pool changes *nothing* about the simulated outcomes.
+//!
+//! Every simulation is a pure function of `(system, workload, config)`,
+//! and `SimResult` equality deliberately ignores the host-side
+//! `RunMetrics`, so the guarantee is expressible as plain `==` between
+//! the parallel outcomes and sequential `run_system` calls.
+
+use fusion_core::{full_grid, run_system, Sweep, TraceCache};
+use fusion_types::SystemConfig;
+use fusion_workloads::{build_suite, Scale};
+
+#[test]
+fn parallel_sweep_matches_sequential_runs_over_full_grid() {
+    let cfg = SystemConfig::small();
+    let jobs = full_grid(&cfg);
+    assert_eq!(jobs.len(), 4 * 7, "grid must cover every (system, suite)");
+
+    let outcomes = Sweep::new(Scale::Tiny).run(jobs.clone());
+    assert_eq!(outcomes.len(), jobs.len());
+
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        // Outcomes come back in grid order with the job echoed back.
+        assert_eq!(outcome.job.system, job.system);
+        assert_eq!(outcome.job.suite, job.suite);
+
+        let wl = build_suite(job.suite, Scale::Tiny);
+        let sequential = run_system(job.system, &wl, &job.config);
+        assert_eq!(
+            outcome.result, sequential,
+            "{} on {:?} diverged between pool and sequential run",
+            job.system, job.suite
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree_with_each_other() {
+    let cfg = SystemConfig::small();
+    let shared = std::sync::Arc::new(TraceCache::new());
+    let a = Sweep::new(Scale::Tiny)
+        .with_trace_cache(std::sync::Arc::clone(&shared))
+        .run(full_grid(&cfg));
+    let b = Sweep::new(Scale::Tiny)
+        .threads(2)
+        .with_trace_cache(shared)
+        .run(full_grid(&cfg));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.result, y.result);
+    }
+}
