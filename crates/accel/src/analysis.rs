@@ -10,8 +10,7 @@
 //!   producer→consumer stores (the paper post-processes the trace the same
 //!   way).
 
-use std::collections::{HashMap, HashSet};
-
+use fusion_types::hash::{FxHashMap, FxHashSet};
 use fusion_types::{AxcId, BlockAddr};
 
 use crate::trace::{Phase, Workload};
@@ -51,7 +50,7 @@ pub fn op_mix(workload: &Workload, name: &str) -> OpMix {
     }
 }
 
-fn blocks_of_function(workload: &Workload, name: &str) -> HashSet<BlockAddr> {
+fn blocks_of_function(workload: &Workload, name: &str) -> FxHashSet<BlockAddr> {
     workload
         .phases
         .iter()
@@ -67,7 +66,9 @@ pub fn sharing_degree(workload: &Workload, name: &str) -> f64 {
     if mine.is_empty() {
         return 0.0;
     }
-    let others: HashSet<BlockAddr> = workload
+    // Hot-map audit: only the intersection *count* is read, so set
+    // iteration order cannot affect the percentage.
+    let others: FxHashSet<BlockAddr> = workload
         .functions()
         .into_iter()
         .filter(|f| *f != name)
@@ -108,12 +109,15 @@ impl DmaWindow {
 pub fn dma_windows(phase: &Phase, capacity_blocks: usize) -> Vec<DmaWindow> {
     assert!(capacity_blocks > 0, "scratchpad must hold at least a block");
     let mut windows = Vec::new();
-    let mut resident: HashMap<BlockAddr, bool> = HashMap::new(); // -> dirty
-    let mut first_is_read: HashMap<BlockAddr, bool> = HashMap::new();
+    // Hot-map audit: these maps see one probe per trace reference, and the
+    // DMA lists drained out of them are sorted before use, so iteration
+    // order never reaches the result.
+    let mut resident: FxHashMap<BlockAddr, bool> = FxHashMap::default(); // -> dirty
+    let mut first_is_read: FxHashMap<BlockAddr, bool> = FxHashMap::default();
     let mut window_start = 0usize;
 
-    let mut close = |resident: &mut HashMap<BlockAddr, bool>,
-                     first_is_read: &mut HashMap<BlockAddr, bool>,
+    let mut close = |resident: &mut FxHashMap<BlockAddr, bool>,
+                     first_is_read: &mut FxHashMap<BlockAddr, bool>,
                      range: (usize, usize)| {
         if range.0 == range.1 {
             return;
@@ -201,10 +205,14 @@ pub fn forward_pairs_windowed(workload: &Workload, consumer_window: usize) -> Ve
         touch_rank: usize,
         phase_idx: usize,
     }
-    let mut timeline: HashMap<BlockAddr, Vec<Touch>> = HashMap::new();
+    // Hot-map audit: `timeline` is iterated below, but every emitted pair
+    // is sorted by the unique key (block, producer_phase, consumer) and
+    // deduped on it before returning — visit order cannot change the
+    // output. `seen` is drained through the program-ordered `order` vec.
+    let mut timeline: FxHashMap<BlockAddr, Vec<Touch>> = FxHashMap::default();
     for (phase_idx, p) in workload.phases.iter().enumerate() {
         let axc = p.unit.axc();
-        let mut seen: HashMap<BlockAddr, Touch> = HashMap::new();
+        let mut seen: FxHashMap<BlockAddr, Touch> = FxHashMap::default();
         let mut order: Vec<BlockAddr> = Vec::new();
         for (i, r) in p.refs.iter().enumerate() {
             let b = r.block();

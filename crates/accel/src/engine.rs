@@ -1,8 +1,5 @@
 //! The accelerator issue engine: datapath timing over a memory system.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use fusion_types::Cycle;
 
 use crate::trace::MemRef;
@@ -61,35 +58,64 @@ pub fn run_phase(
     start: Cycle,
     mut access: impl FnMut(&MemRef, Cycle) -> Cycle,
 ) -> PhaseTiming {
+    run_phase_indexed(
+        refs.len(),
+        |i| refs[i].gap,
+        mlp,
+        start,
+        |i, now| access(&refs[i], now),
+    )
+}
+
+/// Index-driven core of [`run_phase`]: identical timing model, but the
+/// reference stream is described by `gap_of(i)` and replayed through
+/// `access(i, now)` instead of materialized `MemRef`s. This is the loop the
+/// decoded-trace fast path ([`crate::trace::DecodedTrace`]) drives; both
+/// entry points share it, so MemRef and decoded replays are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `mlp` is zero.
+pub fn run_phase_indexed(
+    len: usize,
+    mut gap_of: impl FnMut(usize) -> u16,
+    mlp: usize,
+    start: Cycle,
+    mut access: impl FnMut(usize, Cycle) -> Cycle,
+) -> PhaseTiming {
     assert!(mlp > 0, "memory-level parallelism must be at least 1");
     let mut now = start;
-    let mut outstanding: BinaryHeap<Reverse<Cycle>> = BinaryHeap::new();
+    // At most `mlp` completions are ever outstanding (Table 1 caps MLP at
+    // ~6), so a flat vector with linear min-scan beats a binary heap here.
+    // Only completion *values* matter — ties pop in either order with the
+    // same effect — so timing is identical to the heap formulation.
+    let mut outstanding: Vec<Cycle> = Vec::with_capacity(mlp);
     let mut last_completion = start;
     let mut mlp_stalls = 0u64;
 
-    for r in refs {
+    for i in 0..len {
         // Compute gap between the previous reference and this one.
-        now += r.gap as u64;
-        // Retire anything that already finished.
-        while let Some(&Reverse(t)) = outstanding.peek() {
-            if t <= now {
-                outstanding.pop();
-            } else {
-                break;
-            }
-        }
+        now += gap_of(i) as u64;
         // Block on MLP: wait for the earliest outstanding completion.
+        // Already-finished entries pop out of this loop for free (min <=
+        // now adds no stall), so no separate retire pass is needed.
         while outstanding.len() >= mlp {
-            let Reverse(t) = outstanding.pop().expect("mlp >= 1 implies non-empty");
+            let mut min_idx = 0;
+            for (j, &t) in outstanding.iter().enumerate() {
+                if t < outstanding[min_idx] {
+                    min_idx = j;
+                }
+            }
+            let t = outstanding.swap_remove(min_idx);
             if t > now {
                 mlp_stalls += t - now;
                 now = t;
             }
         }
-        let done = access(r, now);
+        let done = access(i, now);
         debug_assert!(done >= now, "memory cannot complete in the past");
         last_completion = last_completion.max(done);
-        outstanding.push(Reverse(done));
+        outstanding.push(done);
         // One issue slot per reference.
         now += 1;
     }
@@ -97,7 +123,7 @@ pub fn run_phase(
     PhaseTiming {
         start,
         end: now.max(last_completion),
-        issued: refs.len() as u64,
+        issued: len as u64,
         mlp_stall_cycles: mlp_stalls,
     }
 }

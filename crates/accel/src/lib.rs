@@ -30,6 +30,6 @@ pub mod ooo;
 pub mod record;
 pub mod trace;
 
-pub use engine::{run_phase, PhaseTiming};
+pub use engine::{run_phase, run_phase_indexed, PhaseTiming};
 pub use record::Recorder;
-pub use trace::{MemRef, OpCounts, Phase, Workload};
+pub use trace::{DecodedPhase, DecodedTrace, MemRef, OpCounts, Phase, Workload};

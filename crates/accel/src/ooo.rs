@@ -67,6 +67,34 @@ pub fn run_host_phase(
     start: Cycle,
     mut access: impl FnMut(&MemRef, Cycle) -> Cycle,
 ) -> PhaseTiming {
+    run_host_phase_indexed(
+        refs.len(),
+        |i| refs[i].gap,
+        |i| refs[i].kind.is_write(),
+        params,
+        start,
+        |i, now| access(&refs[i], now),
+    )
+}
+
+/// Index-driven core of [`run_host_phase`]: identical timing model, but the
+/// reference stream is described by `gap_of(i)` / `is_store_of(i)` and
+/// replayed through `access(i, now)` instead of materialized `MemRef`s.
+/// This is the loop the decoded-trace fast path
+/// ([`crate::trace::DecodedTrace`]) drives; both entry points share it, so
+/// MemRef and decoded replays are bit-identical.
+///
+/// # Panics
+///
+/// Panics if any of the structure sizes is zero.
+pub fn run_host_phase_indexed(
+    len: usize,
+    mut gap_of: impl FnMut(usize) -> u16,
+    mut is_store_of: impl FnMut(usize) -> bool,
+    params: OooParams,
+    start: Cycle,
+    mut access: impl FnMut(usize, Cycle) -> Cycle,
+) -> PhaseTiming {
     assert!(params.width > 0, "core width must be at least 1");
     assert!(params.rob > 0, "ROB must have at least one entry");
     assert!(
@@ -106,9 +134,11 @@ pub fn run_host_phase(
         }
     }
 
-    for r in refs {
-        if r.gap > 0 {
-            now += r.gap as u64;
+    for i in 0..len {
+        let gap = gap_of(i);
+        let is_store = is_store_of(i);
+        if gap > 0 {
+            now += gap as u64;
             issued_this_cycle = 0;
         }
         retire(&mut rob, &mut loads_in_flight, &mut stores_in_flight, now);
@@ -116,8 +146,8 @@ pub fn run_host_phase(
         // Structural hazards: wait for the blocking resource to free.
         loop {
             let rob_full = rob.len() >= params.rob;
-            let lq_full = !r.kind.is_write() && loads_in_flight >= params.load_queue;
-            let sq_full = r.kind.is_write() && stores_in_flight >= params.store_queue;
+            let lq_full = !is_store && loads_in_flight >= params.load_queue;
+            let sq_full = is_store && stores_in_flight >= params.store_queue;
             if !(rob_full || lq_full || sq_full) {
                 break;
             }
@@ -141,11 +171,11 @@ pub fn run_host_phase(
             retire(&mut rob, &mut loads_in_flight, &mut stores_in_flight, now);
         }
 
-        let done = access(r, now);
+        let done = access(i, now);
         debug_assert!(done >= now, "memory cannot complete in the past");
         last_completion = last_completion.max(done);
-        rob.push_back((done, r.kind.is_write()));
-        if r.kind.is_write() {
+        rob.push_back((done, is_store));
+        if is_store {
             stores_in_flight += 1;
         } else {
             loads_in_flight += 1;
@@ -156,7 +186,7 @@ pub fn run_host_phase(
     PhaseTiming {
         start,
         end: now.max(last_completion),
-        issued: refs.len() as u64,
+        issued: len as u64,
         mlp_stall_cycles: stall_cycles,
     }
 }

@@ -57,6 +57,16 @@ impl std::ops::AddAssign for OpCounts {
     }
 }
 
+impl std::ops::Sub for OpCounts {
+    type Output = OpCounts;
+    fn sub(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            int_ops: self.int_ops - rhs.int_ops,
+            fp_ops: self.fp_ops - rhs.fp_ops,
+        }
+    }
+}
+
 /// One accelerator (or host) invocation: a contiguous slice of the
 /// sequential program offloaded to one execution unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +156,149 @@ impl Workload {
     }
 }
 
+/// A [`Workload`]'s reference stream decoded once into flat
+/// structure-of-arrays form.
+///
+/// Replaying a workload touches every reference once per system per
+/// configuration; re-deriving the containing block
+/// (`addr / CACHE_BLOCK_BYTES`) and re-walking the `Vec<MemRef>` of every
+/// phase on each replay is pure overhead. The decoded trace stores exactly
+/// the per-reference fields the replay loops consume — containing block,
+/// access kind, issue gap and a set-index hint — in parallel vectors, with
+/// per-phase offsets and op-count prefix sums alongside, so all systems and
+/// configurations of a sweep stream the same cache-friendly arrays.
+///
+/// Decoding is lossless for timing purposes: the indexed replay loops
+/// ([`crate::engine::run_phase_indexed`],
+/// [`crate::ooo::run_host_phase_indexed`]) consume the same field values in
+/// the same order as the `MemRef` loops, so results are bit-identical.
+#[derive(Debug, Clone)]
+pub struct DecodedTrace {
+    blocks: Vec<BlockAddr>,
+    kinds: Vec<AccessKind>,
+    gaps: Vec<u16>,
+    set_hints: Vec<u32>,
+    // phase_offsets[i]..phase_offsets[i+1] is phase i's range; len = phases+1.
+    phase_offsets: Vec<usize>,
+    // op_prefix[i] = summed op counts of phases 0..i; len = phases+1.
+    op_prefix: Vec<OpCounts>,
+}
+
+impl DecodedTrace {
+    /// Decodes `workload` into flat arrays. Do this once per workload and
+    /// share the result across runs.
+    pub fn decode(workload: &Workload) -> DecodedTrace {
+        let total: usize = workload.phases.iter().map(|p| p.refs.len()).sum();
+        let mut blocks = Vec::with_capacity(total);
+        let mut kinds = Vec::with_capacity(total);
+        let mut gaps = Vec::with_capacity(total);
+        let mut set_hints = Vec::with_capacity(total);
+        let mut phase_offsets = Vec::with_capacity(workload.phases.len() + 1);
+        let mut op_prefix = Vec::with_capacity(workload.phases.len() + 1);
+        phase_offsets.push(0);
+        op_prefix.push(OpCounts::default());
+        let mut ops = OpCounts::default();
+        for p in &workload.phases {
+            for r in &p.refs {
+                let b = r.block();
+                blocks.push(b);
+                kinds.push(r.kind);
+                gaps.push(r.gap);
+                // The low bits of the block index: any power-of-two cache
+                // recovers its set index by masking this hint.
+                set_hints.push(b.index() as u32);
+            }
+            phase_offsets.push(blocks.len());
+            ops += p.ops;
+            op_prefix.push(ops);
+        }
+        DecodedTrace {
+            blocks,
+            kinds,
+            gaps,
+            set_hints,
+            phase_offsets,
+            op_prefix,
+        }
+    }
+
+    /// Number of phases in the decoded stream.
+    pub fn phase_count(&self) -> usize {
+        self.phase_offsets.len() - 1
+    }
+
+    /// Total dynamic references across all phases.
+    pub fn total_refs(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Borrowed view of phase `idx`'s decoded references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= phase_count()`.
+    pub fn phase(&self, idx: usize) -> DecodedPhase<'_> {
+        let lo = self.phase_offsets[idx];
+        let hi = self.phase_offsets[idx + 1];
+        DecodedPhase {
+            blocks: &self.blocks[lo..hi],
+            kinds: &self.kinds[lo..hi],
+            gaps: &self.gaps[lo..hi],
+            set_hints: &self.set_hints[lo..hi],
+        }
+    }
+
+    /// Op counts of phase `idx` (recovered from the prefix sums).
+    pub fn phase_ops(&self, idx: usize) -> OpCounts {
+        self.op_prefix[idx + 1] - self.op_prefix[idx]
+    }
+
+    /// Summed op counts of the whole workload.
+    pub fn total_ops(&self) -> OpCounts {
+        *self.op_prefix.last().expect("op_prefix is never empty")
+    }
+}
+
+/// A borrowed, sliceable view of one phase of a [`DecodedTrace`]: parallel
+/// arrays indexed by position within the phase.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedPhase<'a> {
+    /// Containing block of each reference.
+    pub blocks: &'a [BlockAddr],
+    /// Load/store kind of each reference.
+    pub kinds: &'a [AccessKind],
+    /// Compute gap preceding each reference.
+    pub gaps: &'a [u16],
+    /// Low 32 bits of each block index (mask for a power-of-two set count).
+    pub set_hints: &'a [u32],
+}
+
+impl<'a> DecodedPhase<'a> {
+    /// References in the phase (or window).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the phase has no references.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Sub-window `[lo, hi)` of the phase — DMA windows replay slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(self, lo: usize, hi: usize) -> DecodedPhase<'a> {
+        DecodedPhase {
+            blocks: &self.blocks[lo..hi],
+            kinds: &self.kinds[lo..hi],
+            gaps: &self.gaps[lo..hi],
+            set_hints: &self.set_hints[lo..hi],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +382,78 @@ mod tests {
     fn memref_block_mapping() {
         let m = r(130, AccessKind::Load);
         assert_eq!(m.block(), BlockAddr::from_index(2));
+    }
+
+    #[test]
+    fn decoded_trace_mirrors_workload() {
+        let wl = Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases: vec![
+                phase(
+                    "a",
+                    ExecUnit::Axc(AxcId::new(0)),
+                    vec![r(0, AccessKind::Load), r(130, AccessKind::Store)],
+                ),
+                phase("host", ExecUnit::Host, vec![r(64, AccessKind::Load)]),
+            ],
+        };
+        let d = DecodedTrace::decode(&wl);
+        assert_eq!(d.phase_count(), 2);
+        assert_eq!(d.total_refs(), 3);
+        for (i, p) in wl.phases.iter().enumerate() {
+            let dp = d.phase(i);
+            assert_eq!(dp.len(), p.refs.len());
+            for (j, mr) in p.refs.iter().enumerate() {
+                assert_eq!(dp.blocks[j], mr.block());
+                assert_eq!(dp.kinds[j], mr.kind);
+                assert_eq!(dp.gaps[j], mr.gap);
+                assert_eq!(dp.set_hints[j], mr.block().index() as u32);
+            }
+            assert_eq!(d.phase_ops(i), p.ops);
+        }
+        assert_eq!(d.total_ops(), OpCounts::default());
+    }
+
+    #[test]
+    fn decoded_phase_slices_like_ref_ranges() {
+        let refs: Vec<MemRef> = (0..10u64).map(|i| r(i * 64, AccessKind::Load)).collect();
+        let wl = Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases: vec![phase("a", ExecUnit::Axc(AxcId::new(0)), refs.clone())],
+        };
+        let d = DecodedTrace::decode(&wl);
+        let w = d.phase(0).slice(3, 7);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        for (j, mr) in refs[3..7].iter().enumerate() {
+            assert_eq!(w.blocks[j], mr.block());
+        }
+        assert!(w.slice(4, 4).is_empty());
+    }
+
+    #[test]
+    fn op_prefix_sums_recover_phase_ops() {
+        let mut p1 = phase("a", ExecUnit::Axc(AxcId::new(0)), vec![]);
+        p1.ops = OpCounts {
+            int_ops: 5,
+            fp_ops: 2,
+        };
+        let mut p2 = phase("host", ExecUnit::Host, vec![]);
+        p2.ops = OpCounts {
+            int_ops: 1,
+            fp_ops: 9,
+        };
+        let wl = Workload {
+            name: "T".into(),
+            pid: Pid::new(1),
+            phases: vec![p1.clone(), p2.clone()],
+        };
+        let d = DecodedTrace::decode(&wl);
+        assert_eq!(d.phase_ops(0), p1.ops);
+        assert_eq!(d.phase_ops(1), p2.ops);
+        assert_eq!(d.total_ops(), p1.ops + p2.ops);
     }
 
     #[test]

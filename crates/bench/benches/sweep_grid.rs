@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(sweep.run(full_grid(&SystemConfig::small())).len()))
     });
     g.bench_function("trace_cache/hit", |b| {
-        b.iter(|| std::hint::black_box(traces.get(SuiteId::Fft, Scale::Tiny).total_refs()))
+        b.iter(|| std::hint::black_box(traces.get(SuiteId::Fft, Scale::Tiny).decoded.total_refs()))
     });
     g.finish();
 }

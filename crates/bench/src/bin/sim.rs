@@ -16,7 +16,6 @@
 //! and `sweep` runs the full 4-system × 7-suite evaluation grid — both
 //! over the shared-trace worker pool of [`fusion_core::sweep`].
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use fusion_accel::{io as trace_io, Workload};
@@ -156,83 +155,11 @@ fn config_from(args: &Args) -> Result<SystemConfig, String> {
     Ok(cfg)
 }
 
-/// Minimal JSON emitter for the result (no external JSON dependency).
-fn result_to_json(res: &SimResult) -> String {
-    let mut s = String::new();
-    let t = res.traffic();
-    write!(
-        s,
-        "{{\"system\":\"{}\",\"workload\":\"{}\",\"total_cycles\":{},\"dma_cycles\":{},\
-         \"cache_energy_pj\":{:.3},\"memory_energy_pj\":{:.3},\
-         \"ax_tlb_lookups\":{},\"ax_rmap_lookups\":{},\"host_forwards\":{},\
-         \"dma_blocks\":{},\"dma_transfers\":{},\"l2_accesses\":{},",
-        res.system,
-        res.workload,
-        res.total_cycles,
-        res.dma_cycles,
-        res.cache_energy().value(),
-        res.memory_energy().value(),
-        res.ax_tlb_lookups,
-        res.ax_rmap_lookups,
-        res.host_forwards,
-        res.dma_blocks,
-        res.dma_transfers,
-        res.l2_accesses,
-    )
-    .unwrap();
-    write!(
-        s,
-        "\"traffic\":{{\"msgs_axc_l1x\":{},\"data_axc_l1x\":{},\"msgs_l1x_l2\":{},\
-         \"data_l1x_l2\":{},\"fwds_l0x_l0x\":{},\"flits_axc_l1x\":{}}},",
-        t.msgs_axc_l1x,
-        t.data_axc_l1x,
-        t.msgs_l1x_l2,
-        t.data_l1x_l2,
-        t.fwds_l0x_l0x,
-        t.flits_axc_l1x.value(),
-    )
-    .unwrap();
-    s.push_str("\"energy\":{");
-    let mut first = true;
-    for (c, e, n) in res.energy.iter() {
-        if !first {
-            s.push(',');
-        }
-        first = false;
-        write!(
-            s,
-            "\"{}\":{{\"pj\":{:.3},\"events\":{}}}",
-            c.label(),
-            e.value(),
-            n
-        )
-        .unwrap();
-    }
-    s.push_str("},\"phases\":[");
-    for (i, p) in res.phases.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        write!(
-            s,
-            "{{\"name\":\"{}\",\"is_host\":{},\"cycles\":{},\"dma_cycles\":{},\
-             \"memory_pj\":{:.3},\"compute_pj\":{:.3}}}",
-            p.name,
-            p.is_host,
-            p.cycles,
-            p.dma_cycles,
-            p.memory_energy.value(),
-            p.compute_energy.value(),
-        )
-        .unwrap();
-    }
-    s.push_str("]}");
-    s
-}
-
 fn report(res: &SimResult, json: bool) {
     if json {
-        println!("{}", result_to_json(res));
+        // The stats serializer lives on SimResult so the golden-stats
+        // test and this driver cannot drift apart.
+        println!("{}", res.to_json());
         return;
     }
     println!(
@@ -338,13 +265,16 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
             let m = o.result.metrics;
             println!(
                 "{{\"suite\":\"{}\",\"system\":\"{}\",\"wall_ms\":{:.3},\
-                 \"queue_delay_ms\":{:.3},\"sim_events\":{},\"result\":{}}}{}",
+                 \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
+                 \"refs_per_sec\":{:.0},\"result\":{}}}{}",
                 o.job.suite.label(),
                 o.job.system.label(),
                 m.wall_time().as_secs_f64() * 1e3,
                 m.queue_delay().as_secs_f64() * 1e3,
                 m.sim_events,
-                result_to_json(&o.result),
+                m.refs_simulated,
+                m.refs_per_sec(),
+                o.result.to_json(),
                 if i + 1 < outcomes.len() { "," } else { "" },
             );
         }
@@ -370,12 +300,18 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
         );
     }
     let busy: u64 = outcomes.iter().map(|o| o.result.metrics.wall_nanos).sum();
+    let refs: u64 = outcomes
+        .iter()
+        .map(|o| o.result.metrics.refs_simulated)
+        .sum();
     println!(
-        "{} jobs on {pool} worker(s): {:.1} ms wall, {:.1} ms of simulation ({:.2}x)",
+        "{} jobs on {pool} worker(s): {:.1} ms wall, {:.1} ms of simulation ({:.2}x), \
+         {:.2} Mrefs/s",
         outcomes.len(),
         total.as_secs_f64() * 1e3,
         busy as f64 / 1e6,
         busy as f64 / total.as_nanos().max(1) as f64,
+        refs as f64 * 1e3 / total.as_nanos().max(1) as f64,
     );
     Ok(())
 }

@@ -109,7 +109,7 @@ impl SuiteRun {
                     fusion_dx: next(),
                     fusion_wt: next(),
                     fusion_large: next(),
-                    workload: traces.get(id, scale),
+                    workload: traces.get(id, scale).workload,
                 }
             })
             .collect()

@@ -21,9 +21,8 @@
 //! The tile is strictly 2-hop: every protocol action is a request/response
 //! between one L0X and the L1X — there are no sharer probes.
 
-use std::collections::HashMap;
-
 use fusion_mem::{ReplacementPolicy, SetAssocCache};
+use fusion_types::hash::FxHashMap;
 use fusion_types::{
     AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, Pid, WritePolicy, CACHE_BLOCK_BYTES,
 };
@@ -315,7 +314,10 @@ pub struct AccTile {
     dirty_per_set: Vec<Vec<u32>>,
     /// FUSION-Dx forwarding rules, keyed by (pid, block); a block can have
     /// several rules with different producers (pipeline chains).
-    forwards: HashMap<(Pid, BlockAddr), Vec<ForwardRule>>,
+    ///
+    /// Hot-map audit: probed by key in `writeback` only — never iterated —
+    /// so the deterministic [`FxHashMap`] cannot affect results.
+    forwards: FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>,
     /// Lease-renewal extension (off by default — not part of the paper's
     /// ACC): an expired L0X line whose data is provably current renews its
     /// epoch with a pair of control messages instead of a data transfer.
@@ -323,7 +325,9 @@ pub struct AccTile {
     /// Per-AXC in-flight fills: block → completion time of the primary
     /// miss. A secondary miss to the same block while the primary is in
     /// flight merges (MSHR behaviour) instead of issuing a second request.
-    in_flight: Vec<HashMap<(Pid, BlockAddr), Cycle>>,
+    ///
+    /// Hot-map audit: probed/inserted/removed by key — never iterated.
+    in_flight: Vec<FxHashMap<(Pid, BlockAddr), Cycle>>,
     stats: TileStats,
 }
 
@@ -350,9 +354,9 @@ impl AccTile {
             timing,
             write_policy,
             dirty_per_set: vec![vec![0; l0_sets]; axcs],
-            forwards: HashMap::new(),
+            forwards: FxHashMap::default(),
             renewal: false,
-            in_flight: (0..axcs).map(|_| HashMap::new()).collect(),
+            in_flight: (0..axcs).map(|_| FxHashMap::default()).collect(),
             stats: TileStats::default(),
         }
     }
@@ -369,7 +373,7 @@ impl AccTile {
 
     /// Installs the FUSION-Dx forwarding rules (trace post-processing
     /// output). An empty map disables forwarding (plain FUSION).
-    pub fn set_forward_rules(&mut self, rules: HashMap<(Pid, BlockAddr), Vec<ForwardRule>>) {
+    pub fn set_forward_rules(&mut self, rules: FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>) {
         self.forwards = rules;
     }
 
@@ -1317,7 +1321,7 @@ mod tests {
     #[test]
     fn forwarding_rule_moves_data_between_l0xs() {
         let mut t = tile(2);
-        let mut rules = HashMap::new();
+        let mut rules = FxHashMap::default();
         rules.insert(
             (P, b(5)),
             vec![ForwardRule {

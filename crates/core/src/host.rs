@@ -1,11 +1,10 @@
 //! The host side shared by every system: OOO core memory path, host L1,
 //! directory MESI L2, main memory and the translation structures.
 
-use std::collections::HashMap;
-
 use fusion_coherence::{AgentId, DirectoryMesi, MesiReq};
 use fusion_energy::{Component, EnergyLedger, EnergyModel};
 use fusion_mem::{MainMemory, NucaRing, ReplacementPolicy, SetAssocCache};
+use fusion_types::hash::FxHashMap;
 use fusion_types::{AccessKind, BlockAddr, Cycle, PhysAddr, Pid, SystemConfig, CACHE_BLOCK_BYTES};
 use fusion_vm::{PageTable, Tlb};
 
@@ -79,7 +78,9 @@ pub struct HostSide {
     host_tlb: Tlb,
     ax_tlb: Tlb,
     nuca: NucaRing,
-    v2p: HashMap<(Pid, BlockAddr), PhysAddr>,
+    // Hot-map audit: insert on tile fill, get on tile eviction — never
+    // iterated.
+    v2p: FxHashMap<(Pid, BlockAddr), PhysAddr>,
     host_forwards: u64,
 }
 
@@ -96,7 +97,7 @@ impl HostSide {
             host_tlb: Tlb::new(64),
             ax_tlb: Tlb::new(32),
             nuca: NucaRing::table2(),
-            v2p: HashMap::new(),
+            v2p: FxHashMap::default(),
             host_forwards: 0,
         }
     }

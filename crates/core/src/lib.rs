@@ -42,5 +42,5 @@ pub mod sweep;
 pub mod systems;
 
 pub use result::{PhaseResult, RunMetrics, SimResult, Traffic};
-pub use runner::{run_system, SystemKind};
-pub use sweep::{full_grid, Sweep, SweepJob, SweepOutcome, TraceCache};
+pub use runner::{run_system, run_system_decoded, SystemKind};
+pub use sweep::{full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, TraceCache};

@@ -56,6 +56,8 @@ pub struct RunMetrics {
     /// Total simulation events processed (energy-ledger activity counts
     /// across every component).
     pub sim_events: u64,
+    /// Dynamic memory references replayed (the decoded trace's length).
+    pub refs_simulated: u64,
 }
 
 impl RunMetrics {
@@ -76,6 +78,17 @@ impl RunMetrics {
             0.0
         } else {
             self.sim_events as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Dynamic references replayed per wall-clock second — the hot-path
+    /// throughput number `BENCH_sweep.json` baselines; zero when no time
+    /// was measured.
+    pub fn refs_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.refs_simulated as f64 * 1e9 / self.wall_nanos as f64
         }
     }
 }
@@ -192,6 +205,88 @@ impl SimResult {
         }
     }
 
+    /// Serializes every simulated stat as one JSON object — exactly what
+    /// `sim run --json` prints (minimal writer, no external JSON
+    /// dependency).
+    ///
+    /// [`SimResult::metrics`] is *excluded*: it records host-side
+    /// measurements, not simulated outcomes, so this string is byte-stable
+    /// across runs of the same job. The golden-stats test diffs it against
+    /// committed snapshots exactly.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let t = self.traffic();
+        write!(
+            s,
+            "{{\"system\":\"{}\",\"workload\":\"{}\",\"total_cycles\":{},\"dma_cycles\":{},\
+             \"cache_energy_pj\":{:.3},\"memory_energy_pj\":{:.3},\
+             \"ax_tlb_lookups\":{},\"ax_rmap_lookups\":{},\"host_forwards\":{},\
+             \"dma_blocks\":{},\"dma_transfers\":{},\"l2_accesses\":{},",
+            self.system,
+            self.workload,
+            self.total_cycles,
+            self.dma_cycles,
+            self.cache_energy().value(),
+            self.memory_energy().value(),
+            self.ax_tlb_lookups,
+            self.ax_rmap_lookups,
+            self.host_forwards,
+            self.dma_blocks,
+            self.dma_transfers,
+            self.l2_accesses,
+        )
+        .unwrap();
+        write!(
+            s,
+            "\"traffic\":{{\"msgs_axc_l1x\":{},\"data_axc_l1x\":{},\"msgs_l1x_l2\":{},\
+             \"data_l1x_l2\":{},\"fwds_l0x_l0x\":{},\"flits_axc_l1x\":{}}},",
+            t.msgs_axc_l1x,
+            t.data_axc_l1x,
+            t.msgs_l1x_l2,
+            t.data_l1x_l2,
+            t.fwds_l0x_l0x,
+            t.flits_axc_l1x.value(),
+        )
+        .unwrap();
+        s.push_str("\"energy\":{");
+        let mut first = true;
+        for (c, e, n) in self.energy.iter() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            write!(
+                s,
+                "\"{}\":{{\"pj\":{:.3},\"events\":{}}}",
+                c.label(),
+                e.value(),
+                n
+            )
+            .unwrap();
+        }
+        s.push_str("},\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(
+                s,
+                "{{\"name\":\"{}\",\"is_host\":{},\"cycles\":{},\"dma_cycles\":{},\
+                 \"memory_pj\":{:.3},\"compute_pj\":{:.3}}}",
+                p.name,
+                p.is_host,
+                p.cycles,
+                p.dma_cycles,
+                p.memory_energy.value(),
+                p.compute_energy.value(),
+            )
+            .unwrap();
+        }
+        s.push_str("]}");
+        s
+    }
+
     /// Per-function aggregate: `(cycles, memory pJ, compute pJ)` summed
     /// over all invocations of `name`.
     pub fn function_totals(&self, name: &str) -> (u64, PicoJoules, PicoJoules) {
@@ -262,6 +357,33 @@ mod tests {
         assert_eq!(cyc, 25);
         assert_eq!(mem.value(), 20.0);
         assert_eq!(comp.value(), 10.0);
+    }
+
+    #[test]
+    fn refs_per_sec_derivation() {
+        let m = RunMetrics {
+            wall_nanos: 2_000_000_000,
+            queue_delay_nanos: 0,
+            sim_events: 10,
+            refs_simulated: 500,
+        };
+        assert!((m.refs_per_sec() - 250.0).abs() < 1e-9);
+        assert_eq!(RunMetrics::default().refs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn to_json_is_stable_and_ignores_metrics() {
+        let mut a = result_with(vec![phase("f", false, 30)]);
+        let json = a.to_json();
+        assert!(json.starts_with("{\"system\":\"TEST\""));
+        assert!(json.contains("\"total_cycles\":100"));
+        assert!(json.contains("\"phases\":[{\"name\":\"f\""));
+        assert!(json.ends_with("]}"));
+        // Metrics are measurement metadata: changing them must not change
+        // the serialized stats.
+        a.metrics.wall_nanos = 123;
+        a.metrics.refs_simulated = 456;
+        assert_eq!(a.to_json(), json);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment runner: one entry point per (system, workload) pair.
 
-use fusion_accel::Workload;
+use fusion_accel::{DecodedTrace, Workload};
 use fusion_types::SystemConfig;
 
 use crate::result::SimResult;
@@ -53,15 +53,34 @@ impl std::fmt::Display for SystemKind {
 /// assert_eq!(res.system, "SHARED");
 /// ```
 pub fn run_system(kind: SystemKind, workload: &Workload, cfg: &SystemConfig) -> SimResult {
+    // Decode outside the timed region so refs/sec measures pure replay,
+    // matching the sweep's shared-decoding path.
+    let decoded = DecodedTrace::decode(workload);
+    run_system_decoded(kind, workload, &decoded, cfg)
+}
+
+/// Runs `workload` on the chosen system replaying the pre-decoded stream
+/// `decoded` (which must be `DecodedTrace::decode(workload)`).
+///
+/// This is the sweep's fast path: the decoding is computed once per
+/// `(suite, scale)` and shared across every system and configuration that
+/// replays it. Results are bit-identical to [`run_system`].
+pub fn run_system_decoded(
+    kind: SystemKind,
+    workload: &Workload,
+    decoded: &DecodedTrace,
+    cfg: &SystemConfig,
+) -> SimResult {
     let started = std::time::Instant::now();
     let mut res = match kind {
-        SystemKind::Scratch => ScratchSystem::new(cfg).run(workload),
-        SystemKind::Shared => SharedSystem::new(cfg).run(workload),
-        SystemKind::Fusion => FusionSystem::new(cfg).run(workload),
-        SystemKind::FusionDx => FusionSystem::new_dx(cfg).run(workload),
+        SystemKind::Scratch => ScratchSystem::new(cfg).run_decoded(workload, decoded),
+        SystemKind::Shared => SharedSystem::new(cfg).run_decoded(workload, decoded),
+        SystemKind::Fusion => FusionSystem::new(cfg).run_decoded(workload, decoded),
+        SystemKind::FusionDx => FusionSystem::new_dx(cfg).run_decoded(workload, decoded),
     };
     res.metrics.wall_nanos = started.elapsed().as_nanos() as u64;
     res.metrics.sim_events = res.total_sim_events();
+    res.metrics.refs_simulated = decoded.total_refs();
     res
 }
 
@@ -89,6 +108,24 @@ mod tests {
             let res = run_system(kind, &wl, &SystemConfig::small());
             assert!(res.total_cycles > 0, "{kind}");
             assert!(res.memory_energy().value() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn decoded_path_matches_memref_path() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        let decoded = DecodedTrace::decode(&wl);
+        for kind in [
+            SystemKind::Scratch,
+            SystemKind::Shared,
+            SystemKind::Fusion,
+            SystemKind::FusionDx,
+        ] {
+            let a = run_system(kind, &wl, &SystemConfig::small());
+            let b = run_system_decoded(kind, &wl, &decoded, &SystemConfig::small());
+            // SimResult equality covers every stat (metrics excluded).
+            assert_eq!(a, b, "{kind}");
+            assert_eq!(b.metrics.refs_simulated, wl.total_refs());
         }
     }
 

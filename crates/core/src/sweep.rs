@@ -6,9 +6,10 @@
 //! of [`SweepJob`]s over a scoped worker pool:
 //!
 //! * **Trace sharing** — each distinct `(suite, scale)` workload is
-//!   materialized exactly once behind an [`Arc<Workload>`] (see
-//!   [`TraceCache`]); every job replaying that suite shares the trace
-//!   instead of re-running the instrumented kernels.
+//!   materialized *and decoded* exactly once behind [`Arc`]s (see
+//!   [`TraceCache`] and [`SharedTrace`]); every job replaying that suite
+//!   shares the trace and its flat [`DecodedTrace`] instead of re-running
+//!   the instrumented kernels and re-deriving block addresses per run.
 //! * **Worker pool** — jobs fan out over [`std::thread::scope`] threads,
 //!   sized from [`std::thread::available_parallelism`] (capped by the job
 //!   count, overridable via [`Sweep::threads`]). Workers claim jobs from a
@@ -17,7 +18,7 @@
 //!   `(system, workload, config)` inputs. Results are written into
 //!   per-job slots, so the output order is the grid order regardless of
 //!   which worker finished first, and each [`SimResult`] is identical to
-//!   what a sequential [`run_system`] call produces (equality ignores the
+//!   what a sequential [`crate::runner::run_system`] call produces (equality ignores the
 //!   wall-time metadata; see [`crate::result::RunMetrics`]).
 //!
 //! Per-job host-side measurements — wall time, queue delay (submission to
@@ -40,15 +41,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use fusion_accel::Workload;
+use fusion_accel::{DecodedTrace, Workload};
 use fusion_types::SystemConfig;
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
 use crate::result::SimResult;
-use crate::runner::{run_system, SystemKind};
+use crate::runner::{run_system_decoded, SystemKind};
 
 /// One point of the design-space grid: a system, the suite whose trace it
 /// replays, and the configuration to simulate under.
@@ -101,15 +102,34 @@ pub fn full_grid(cfg: &SystemConfig) -> Vec<SweepJob> {
     jobs
 }
 
+/// A workload together with its pre-decoded reference stream, both behind
+/// [`Arc`]s so every job of a sweep shares one copy.
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    /// The materialized workload (phases, op counts, leases, ...).
+    pub workload: Arc<Workload>,
+    /// The flat decoded stream every replay loop consumes.
+    pub decoded: Arc<DecodedTrace>,
+}
+
 /// Workload traces materialized once per `(suite, scale)` and shared
 /// between jobs behind [`Arc`]s.
 ///
 /// `build_suite` re-runs the instrumented kernels every call; for a full
-/// grid that is 4–6 rebuilds per suite. The cache makes it exactly one.
+/// grid that is 4–6 rebuilds per suite. The cache makes it exactly one —
+/// even under contention: each key owns a [`OnceLock`] build slot, so the
+/// kernels never run while the cache-wide mutex is held and never run
+/// twice for the same key (concurrent callers for one key block on the
+/// slot, not on each other's builds).
 #[derive(Default)]
 pub struct TraceCache {
-    traces: Mutex<HashMap<(SuiteId, Scale), Arc<Workload>>>,
+    slots: Mutex<HashMap<(SuiteId, Scale), BuildSlot>>,
+    builds: AtomicUsize,
 }
+
+/// One key's build slot: cloned out of the map so initialization runs
+/// without holding the cache-wide mutex.
+type BuildSlot = Arc<OnceLock<SharedTrace>>;
 
 impl TraceCache {
     /// Creates an empty cache.
@@ -117,28 +137,45 @@ impl TraceCache {
         TraceCache::default()
     }
 
-    /// Returns the shared trace for `(suite, scale)`, building it on first
-    /// use.
-    pub fn get(&self, suite: SuiteId, scale: Scale) -> Arc<Workload> {
-        if let Some(wl) = self.traces.lock().unwrap().get(&(suite, scale)) {
-            return Arc::clone(wl);
-        }
-        // Build outside the lock so two suites can materialize
-        // concurrently; on a race the first insert wins and the duplicate
-        // build is dropped.
-        let built = Arc::new(build_suite(suite, scale));
-        Arc::clone(
-            self.traces
+    /// Returns the shared trace for `(suite, scale)`, building and decoding
+    /// it on first use.
+    pub fn get(&self, suite: SuiteId, scale: Scale) -> SharedTrace {
+        // The map mutex only guards slot creation — cheap and O(1). The
+        // expensive build happens inside the per-key OnceLock, outside the
+        // mutex, so distinct suites materialize concurrently and one key
+        // builds exactly once.
+        let slot = Arc::clone(
+            self.slots
                 .lock()
                 .unwrap()
                 .entry((suite, scale))
-                .or_insert(built),
-        )
+                .or_default(),
+        );
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let workload = build_suite(suite, scale);
+            let decoded = DecodedTrace::decode(&workload);
+            SharedTrace {
+                workload: Arc::new(workload),
+                decoded: Arc::new(decoded),
+            }
+        })
+        .clone()
+    }
+
+    /// Total workload builds performed (each key builds exactly once).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
     }
 
     /// Number of materialized traces.
     pub fn len(&self) -> usize {
-        self.traces.lock().unwrap().len()
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| s.get().is_some())
+            .count()
     }
 
     /// Whether the cache has materialized nothing yet.
@@ -236,7 +273,12 @@ impl Sweep {
                     let Some(job) = jobs.get(i) else { break };
                     let queue_delay = submitted.elapsed().as_nanos() as u64;
                     let trace = self.traces.get(job.suite, self.scale);
-                    let mut result = run_system(job.system, &trace, &job.config);
+                    let mut result = run_system_decoded(
+                        job.system,
+                        &trace.workload,
+                        &trace.decoded,
+                        &job.config,
+                    );
                     result.metrics.queue_delay_nanos = queue_delay;
                     *slots_ref[i].lock().unwrap() = Some(SweepOutcome {
                         job: job.clone(),
@@ -277,10 +319,45 @@ mod tests {
         let cache = TraceCache::new();
         let a = cache.get(SuiteId::Adpcm, Scale::Tiny);
         let b = cache.get(SuiteId::Adpcm, Scale::Tiny);
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a.workload, &b.workload));
+        assert!(Arc::ptr_eq(&a.decoded, &b.decoded));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.builds(), 1);
         cache.get(SuiteId::Fft, Scale::Tiny);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn trace_cache_builds_once_under_contention() {
+        // Hammer one key from every hardware thread: the per-key build
+        // slot must serialize callers onto a single build, never one per
+        // caller and never one inside the cache-wide mutex.
+        let cache = TraceCache::new();
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(4);
+        let shared: Vec<SharedTrace> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| scope.spawn(|| cache.get(SuiteId::Adpcm, Scale::Tiny)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.builds(), 1, "duplicate build under contention");
+        assert_eq!(cache.len(), 1);
+        for t in &shared[1..] {
+            assert!(Arc::ptr_eq(&shared[0].workload, &t.workload));
+            assert!(Arc::ptr_eq(&shared[0].decoded, &t.decoded));
+        }
+    }
+
+    #[test]
+    fn trace_cache_decoding_matches_workload() {
+        let cache = TraceCache::new();
+        let t = cache.get(SuiteId::Filter, Scale::Tiny);
+        assert_eq!(t.decoded.total_refs(), t.workload.total_refs());
+        assert_eq!(t.decoded.phase_count(), t.workload.phases.len());
     }
 
     #[test]

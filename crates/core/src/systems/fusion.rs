@@ -3,11 +3,12 @@
 use std::collections::HashMap;
 
 use fusion_accel::analysis::forward_pairs_windowed;
-use fusion_accel::ooo::{run_host_phase, OooParams};
-use fusion_accel::{run_phase, Workload};
+use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
+use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_coherence::acc::{AccAccess, AccTile, TileTiming};
 use fusion_coherence::{ForwardRule, TileStats};
 use fusion_energy::{Component, EnergyLedger, EnergyModel};
+use fusion_types::hash::FxHashMap;
 use fusion_types::{
     AccessKind, AxcId, BlockAddr, Cycle, PhysAddr, Pid, SystemConfig, CACHE_BLOCK_BYTES,
 };
@@ -87,6 +88,13 @@ impl FusionSystem {
 
     /// Runs `workload` to completion.
     pub fn run(&mut self, workload: &Workload) -> SimResult {
+        self.run_decoded(workload, &DecodedTrace::decode(workload))
+    }
+
+    /// Runs `workload` replaying the pre-decoded stream `decoded` (which
+    /// must be `DecodedTrace::decode(workload)`; the sweep shares one
+    /// decoding across all systems and configurations).
+    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -115,7 +123,7 @@ impl FusionSystem {
         state.tile.set_lease_renewal(cfg.lease_renewal);
         // FUSION-Dx: forwarding directives grouped by producing phase —
         // a rule is armed only while its producing invocation runs.
-        let mut rules_by_phase: HashMap<usize, HashMap<(Pid, BlockAddr), Vec<ForwardRule>>> =
+        let mut rules_by_phase: HashMap<usize, FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>> =
             HashMap::new();
         if self.dx {
             // Per-function epoch lengths for the forwarded copies.
@@ -161,30 +169,51 @@ impl FusionSystem {
                 .tile
                 .set_forward_rules(rules_by_phase.get(&phase_idx).cloned().unwrap_or_default());
 
+            let dp = decoded.phase(phase_idx);
             match phase.unit.axc() {
                 None => {
-                    let t = run_host_phase(&phase.refs, OooParams::default(), now, |r, at| {
-                        host.host_access(pid, r.block(), r.kind, at, &mut ledger, &mut state)
-                    });
+                    let t = run_host_phase_indexed(
+                        dp.len(),
+                        |j| dp.gaps[j],
+                        |j| dp.kinds[j].is_write(),
+                        OooParams::default(),
+                        now,
+                        |j, at| {
+                            host.host_access(
+                                pid,
+                                dp.blocks[j],
+                                dp.kinds[j],
+                                at,
+                                &mut ledger,
+                                &mut state,
+                            )
+                        },
+                    );
                     now = t.end;
                 }
                 Some(axc) => {
                     let lease = phase.lease;
-                    let t = run_phase(&phase.refs, phase.mlp, now, |r, at| {
-                        let done = tile_access(
-                            &mut state,
-                            &mut host,
-                            &mut ledger,
-                            axc,
-                            pid,
-                            r.block(),
-                            r.kind,
-                            at,
-                            lease,
-                        );
-                        latency.record(done - at);
-                        done
-                    });
+                    let t = run_phase_indexed(
+                        dp.len(),
+                        |j| dp.gaps[j],
+                        phase.mlp,
+                        now,
+                        |j, at| {
+                            let done = tile_access(
+                                &mut state,
+                                &mut host,
+                                &mut ledger,
+                                axc,
+                                pid,
+                                dp.blocks[j],
+                                dp.kinds[j],
+                                at,
+                                lease,
+                            );
+                            latency.record(done - at);
+                            done
+                        },
+                    );
                     now = t.end;
                     // Invocation complete: expected-latency epochs end now.
                     state.tile.downgrade_all(axc, pid, now);

@@ -1,8 +1,8 @@
 //! SCRATCH: per-accelerator scratchpads fed by the oracle coherent DMA.
 
 use fusion_accel::analysis::dma_windows;
-use fusion_accel::ooo::{run_host_phase, OooParams};
-use fusion_accel::{run_phase, Workload};
+use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
+use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_dma::{DmaController, DmaDirection};
 use fusion_energy::{Component, EnergyLedger};
 use fusion_mem::Scratchpad;
@@ -30,6 +30,13 @@ impl ScratchSystem {
 
     /// Runs `workload` to completion.
     pub fn run(&mut self, workload: &Workload) -> SimResult {
+        self.run_decoded(workload, &DecodedTrace::decode(workload))
+    }
+
+    /// Runs `workload` replaying the pre-decoded stream `decoded` (which
+    /// must be `DecodedTrace::decode(workload)`; the sweep shares one
+    /// decoding across all systems and configurations).
+    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -42,16 +49,31 @@ impl ScratchSystem {
         let cap_blocks = cfg.scratchpad.capacity_bytes / CACHE_BLOCK_BYTES;
         let pid = workload.pid;
 
-        for phase in &workload.phases {
+        for (phase_idx, phase) in workload.phases.iter().enumerate() {
             let start = now;
             let mark = EnergyMark::take(&ledger);
             charge_compute(&mut ledger, &phase.ops, &em);
             let mut phase_dma = 0u64;
+            let dp = decoded.phase(phase_idx);
 
             if phase.unit.is_host() {
-                let t = run_host_phase(&phase.refs, OooParams::default(), now, |r, at| {
-                    host.host_access(pid, r.block(), r.kind, at, &mut ledger, &mut NoTile)
-                });
+                let t = run_host_phase_indexed(
+                    dp.len(),
+                    |j| dp.gaps[j],
+                    |j| dp.kinds[j].is_write(),
+                    OooParams::default(),
+                    now,
+                    |j, at| {
+                        host.host_access(
+                            pid,
+                            dp.blocks[j],
+                            dp.kinds[j],
+                            at,
+                            &mut ledger,
+                            &mut NoTile,
+                        )
+                    },
+                );
                 now = t.end;
             } else {
                 let windows = dma_windows(phase, cap_blocks);
@@ -71,16 +93,19 @@ impl ScratchSystem {
 
                     // Execute the window: every access hits the scratchpad.
                     let sp_lat = cfg.scratchpad.latency;
-                    let t = run_phase(
-                        &phase.refs[w.ref_range.0..w.ref_range.1],
+                    let wdp = dp.slice(w.ref_range.0, w.ref_range.1);
+                    let t = run_phase_indexed(
+                        wdp.len(),
+                        |j| wdp.gaps[j],
                         phase.mlp,
                         now,
-                        |r, at| {
+                        |j, at| {
                             ledger.charge(Component::AxcCache, em.scratchpad_access);
-                            if r.kind.is_write() {
-                                sp.write(r.block()).expect("oracle DMA window overflow");
+                            if wdp.kinds[j].is_write() {
+                                sp.write(wdp.blocks[j]).expect("oracle DMA window overflow");
                             } else {
-                                sp.read(r.block()).expect("oracle DMA missed a read block");
+                                sp.read(wdp.blocks[j])
+                                    .expect("oracle DMA missed a read block");
                             }
                             latency.record(sp_lat);
                             at + sp_lat

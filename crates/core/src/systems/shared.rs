@@ -1,7 +1,7 @@
 //! SHARED: one shared L1X per tile, a plain MESI agent (no private L0Xs).
 
-use fusion_accel::ooo::{run_host_phase, OooParams};
-use fusion_accel::{run_phase, Workload};
+use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
+use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_coherence::MesiReq;
 use fusion_energy::{Component, EnergyLedger, EnergyModel};
 use fusion_mem::{BankedTiming, ReplacementPolicy, SetAssocCache};
@@ -68,6 +68,13 @@ impl SharedSystem {
 
     /// Runs `workload` to completion.
     pub fn run(&mut self, workload: &Workload) -> SimResult {
+        self.run_decoded(workload, &DecodedTrace::decode(workload))
+    }
+
+    /// Runs `workload` replaying the pre-decoded stream `decoded` (which
+    /// must be `DecodedTrace::decode(workload)`; the sweep shares one
+    /// decoding across all systems and configurations).
+    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -80,125 +87,141 @@ impl SharedSystem {
         let mut banks = BankedTiming::new(cfg.l1x.banks, 1);
         // In-flight L1X fills: a hit on a line whose fill has not landed
         // yet cannot return data earlier than the fill (hit-under-miss).
-        let mut in_flight: std::collections::HashMap<BlockAddr, Cycle> =
-            std::collections::HashMap::new();
+        // Hot-map audit: get/insert by key — never iterated.
+        let mut in_flight: fusion_types::hash::FxHashMap<BlockAddr, Cycle> =
+            fusion_types::hash::FxHashMap::default();
         let mut now = Cycle::ZERO;
         let mut phases_out = Vec::new();
         let mut latency = fusion_sim::Histogram::new();
         let pid = workload.pid;
         let word = cfg.control_message_bytes;
 
-        for phase in &workload.phases {
+        for (phase_idx, phase) in workload.phases.iter().enumerate() {
             let start = now;
             let mark = EnergyMark::take(&ledger);
             charge_compute(&mut ledger, &phase.ops, &em);
+            let dp = decoded.phase(phase_idx);
 
             if phase.unit.is_host() {
-                let t = run_host_phase(&phase.refs, OooParams::default(), now, |r, at| {
-                    host.host_access(pid, r.block(), r.kind, at, &mut ledger, &mut l1x)
-                });
+                let t = run_host_phase_indexed(
+                    dp.len(),
+                    |j| dp.gaps[j],
+                    |j| dp.kinds[j].is_write(),
+                    OooParams::default(),
+                    now,
+                    |j, at| {
+                        host.host_access(pid, dp.blocks[j], dp.kinds[j], at, &mut ledger, &mut l1x)
+                    },
+                );
                 now = t.end;
             } else {
-                let t = run_phase(&phase.refs, phase.mlp, now, |r, at| {
-                    // Address/request message AXC -> L1X.
-                    ledger.charge_bytes(
-                        Component::LinkAxcL1xMsg,
-                        em.link_axc_l1x_pj_per_byte,
-                        word,
-                    );
-                    // Critical-path translation (shared, core-style view).
-                    let pa = host.shared_tlb_translate(pid, r.block(), &mut ledger);
-                    let pblock = SharedL1x::pblock(pa);
-                    let arb = at + cfg.link_axc_l1x.transfer_cycles(word);
-                    let bank_start = banks.issue(pblock, arb);
-                    ledger.charge(Component::L1x, em.l1x_access);
-                    let mut ready = bank_start + cfg.l1x.latency;
-
-                    if let Some(&fill_done) = in_flight.get(&pblock) {
-                        ready = ready.max(fill_done);
-                    }
-                    let mut is_upgrade = false;
-                    let needs_fill = match l1x.cache.lookup(SharedL1x::PHYS_PID, pblock) {
-                        Some(line) => {
-                            if r.kind.is_write() && !line.meta.exclusive {
-                                is_upgrade = true;
-                                Some(MesiReq::GetX) // upgrade
-                            } else {
-                                if r.kind.is_write() {
-                                    line.dirty = true;
-                                }
-                                None
-                            }
-                        }
-                        None => Some(if r.kind.is_write() {
-                            MesiReq::GetX
-                        } else {
-                            MesiReq::GetS
-                        }),
-                    };
-                    if let Some(req) = needs_fill {
+                let t = run_phase_indexed(
+                    dp.len(),
+                    |j| dp.gaps[j],
+                    phase.mlp,
+                    now,
+                    |j, at| {
+                        let is_write = dp.kinds[j].is_write();
+                        // Address/request message AXC -> L1X.
                         ledger.charge_bytes(
-                            Component::LinkL1xL2Msg,
-                            em.link_l1x_l2_pj_per_byte,
+                            Component::LinkAxcL1xMsg,
+                            em.link_axc_l1x_pj_per_byte,
                             word,
                         );
-                        let req_at = ready + cfg.link_l1x_l2.transfer_cycles(word);
-                        let (l2_ready, recalls) =
-                            host.mesi_request_from_tile(pa, req, req_at, &mut ledger);
-                        for rpa in recalls {
-                            ledger.charge(Component::L1x, em.l1x_tag_probe);
-                            if let Some(e) = l1x
-                                .cache
-                                .invalidate(SharedL1x::PHYS_PID, SharedL1x::pblock(rpa))
-                            {
-                                host.tile_eviction_phys(rpa, e.dirty, &mut ledger);
+                        // Critical-path translation (shared, core-style view).
+                        let pa = host.shared_tlb_translate(pid, dp.blocks[j], &mut ledger);
+                        let pblock = SharedL1x::pblock(pa);
+                        let arb = at + cfg.link_axc_l1x.transfer_cycles(word);
+                        let bank_start = banks.issue(pblock, arb);
+                        ledger.charge(Component::L1x, em.l1x_access);
+                        let mut ready = bank_start + cfg.l1x.latency;
+
+                        if let Some(&fill_done) = in_flight.get(&pblock) {
+                            ready = ready.max(fill_done);
+                        }
+                        let mut is_upgrade = false;
+                        let needs_fill = match l1x.cache.lookup(SharedL1x::PHYS_PID, pblock) {
+                            Some(line) => {
+                                if is_write && !line.meta.exclusive {
+                                    is_upgrade = true;
+                                    Some(MesiReq::GetX) // upgrade
+                                } else {
+                                    if is_write {
+                                        line.dirty = true;
+                                    }
+                                    None
+                                }
+                            }
+                            None => Some(if is_write {
+                                MesiReq::GetX
+                            } else {
+                                MesiReq::GetS
+                            }),
+                        };
+                        if let Some(req) = needs_fill {
+                            ledger.charge_bytes(
+                                Component::LinkL1xL2Msg,
+                                em.link_l1x_l2_pj_per_byte,
+                                word,
+                            );
+                            let req_at = ready + cfg.link_l1x_l2.transfer_cycles(word);
+                            let (l2_ready, recalls) =
+                                host.mesi_request_from_tile(pa, req, req_at, &mut ledger);
+                            for rpa in recalls {
+                                ledger.charge(Component::L1x, em.l1x_tag_probe);
+                                if let Some(e) = l1x
+                                    .cache
+                                    .invalidate(SharedL1x::PHYS_PID, SharedL1x::pblock(rpa))
+                                {
+                                    host.tile_eviction_phys(rpa, e.dirty, &mut ledger);
+                                }
+                            }
+                            ledger.charge_bytes(
+                                Component::LinkL1xL2Data,
+                                em.link_l1x_l2_pj_per_byte,
+                                if is_upgrade {
+                                    8
+                                } else {
+                                    CACHE_BLOCK_BYTES as u64
+                                },
+                            );
+                            // Critical-word-first: the requester proceeds on
+                            // the first flit; the full line gates merged hits.
+                            // An upgrade already holds the data: only the
+                            // ownership acknowledgement comes back.
+                            if !is_upgrade {
+                                let full = l2_ready
+                                    + cfg.link_l1x_l2.transfer_cycles(CACHE_BLOCK_BYTES as u64);
+                                ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
+                                in_flight.insert(pblock, full);
+                            } else {
+                                ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
+                            }
+                            // A GetS with no other sharer is granted E: the
+                            // line may be upgraded to M silently later.
+                            let exclusive = req == MesiReq::GetX || host.tile_owns(pa);
+                            if let Some(victim) = l1x.cache.insert(
+                                SharedL1x::PHYS_PID,
+                                pblock,
+                                SharedMeta { exclusive },
+                                is_write,
+                            ) {
+                                let vpa =
+                                    PhysAddr::new(victim.block.index() * CACHE_BLOCK_BYTES as u64);
+                                host.tile_eviction_phys(vpa, victim.dirty, &mut ledger);
                             }
                         }
+                        // Word-granular response back to the accelerator.
                         ledger.charge_bytes(
-                            Component::LinkL1xL2Data,
-                            em.link_l1x_l2_pj_per_byte,
-                            if is_upgrade {
-                                8
-                            } else {
-                                CACHE_BLOCK_BYTES as u64
-                            },
+                            Component::LinkAxcL1xData,
+                            em.link_axc_l1x_pj_per_byte,
+                            word,
                         );
-                        // Critical-word-first: the requester proceeds on
-                        // the first flit; the full line gates merged hits.
-                        // An upgrade already holds the data: only the
-                        // ownership acknowledgement comes back.
-                        if !is_upgrade {
-                            let full = l2_ready
-                                + cfg.link_l1x_l2.transfer_cycles(CACHE_BLOCK_BYTES as u64);
-                            ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
-                            in_flight.insert(pblock, full);
-                        } else {
-                            ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
-                        }
-                        // A GetS with no other sharer is granted E: the
-                        // line may be upgraded to M silently later.
-                        let exclusive = req == MesiReq::GetX || host.tile_owns(pa);
-                        if let Some(victim) = l1x.cache.insert(
-                            SharedL1x::PHYS_PID,
-                            pblock,
-                            SharedMeta { exclusive },
-                            r.kind.is_write(),
-                        ) {
-                            let vpa =
-                                PhysAddr::new(victim.block.index() * CACHE_BLOCK_BYTES as u64);
-                            host.tile_eviction_phys(vpa, victim.dirty, &mut ledger);
-                        }
-                    }
-                    // Word-granular response back to the accelerator.
-                    ledger.charge_bytes(
-                        Component::LinkAxcL1xData,
-                        em.link_axc_l1x_pj_per_byte,
-                        word,
-                    );
-                    let done = ready + cfg.link_axc_l1x.transfer_cycles(word);
-                    latency.record(done - at);
-                    done
-                });
+                        let done = ready + cfg.link_axc_l1x.transfer_cycles(word);
+                        latency.record(done - at);
+                        done
+                    },
+                );
                 now = t.end;
             }
 

@@ -48,7 +48,14 @@ impl BankedTiming {
     /// Issues an access for `block` at time `now`; returns the cycle the
     /// access actually starts (>= `now`).
     pub fn issue(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
-        let bank = (block.index() % self.next_free.len() as u64) as usize;
+        // Hot-path note: bank counts are powers of two throughout the design
+        // space, where the mask equals the modulo; `%` covers the rest.
+        let banks = self.next_free.len() as u64;
+        let bank = if banks.is_power_of_two() {
+            (block.index() & (banks - 1)) as usize
+        } else {
+            (block.index() % banks) as usize
+        };
         let start = now.max(self.next_free[bank]);
         if start > now {
             self.conflicts += 1;

@@ -96,15 +96,29 @@ impl<M> SetAssocCache<M> {
     }
 
     /// Set index for a block (modulo hashing over block index).
+    ///
+    /// Hot-path note: every geometry in the modelled design space has a
+    /// power-of-two set count, where the mask and the modulo are the same
+    /// function; the `%` branch keeps odd geometries correct.
     #[inline]
     pub fn set_index(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets.len() as u64) as usize
+        let sets = self.sets.len() as u64;
+        if sets.is_power_of_two() {
+            (block.index() & (sets - 1)) as usize
+        } else {
+            (block.index() % sets) as usize
+        }
     }
 
     /// Bank index for a block (block-interleaved banking).
     #[inline]
     pub fn bank_index(&self, block: BlockAddr) -> usize {
-        (block.index() % self.geometry.banks.max(1) as u64) as usize
+        let banks = self.geometry.banks.max(1) as u64;
+        if banks.is_power_of_two() {
+            (block.index() & (banks - 1)) as usize
+        } else {
+            (block.index() % banks) as usize
+        }
     }
 
     /// Looks up a line, updating replacement state and hit/miss statistics.

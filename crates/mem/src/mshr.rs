@@ -1,7 +1,6 @@
 //! Miss-status holding registers (MSHRs).
 
-use std::collections::HashMap;
-
+use fusion_types::hash::FxHashMap;
 use fusion_types::{BlockAddr, Cycle};
 
 /// Bounds and merges outstanding misses for a non-blocking cache.
@@ -25,7 +24,9 @@ use fusion_types::{BlockAddr, Cycle};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: HashMap<BlockAddr, Entry>,
+    // Hot-map audit: keyed point lookups only (get_mut / insert / remove /
+    // contains_key); never iterated, so hash order cannot affect results.
+    entries: FxHashMap<BlockAddr, Entry>,
     capacity: usize,
     merges: u64,
     stalls: u64,
@@ -64,7 +65,7 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         MshrFile {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
             merges: 0,
             stalls: 0,

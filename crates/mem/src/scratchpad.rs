@@ -1,7 +1,6 @@
 //! The per-accelerator scratchpad of the SCRATCH baseline.
 
-use std::collections::HashMap;
-
+use fusion_types::hash::FxHashMap;
 use fusion_types::{BlockAddr, Bytes, CACHE_BLOCK_BYTES};
 
 /// An explicitly managed RAM holding whole cache blocks.
@@ -25,7 +24,9 @@ use fusion_types::{BlockAddr, Bytes, CACHE_BLOCK_BYTES};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scratchpad {
-    resident: HashMap<BlockAddr, bool>, // block -> dirty
+    // Hot-map audit: probed per access; the only iteration is
+    // `drain_dirty`, which sorts before returning.
+    resident: FxHashMap<BlockAddr, bool>, // block -> dirty
     capacity_blocks: usize,
     accesses: u64,
 }
@@ -54,7 +55,7 @@ impl Scratchpad {
             "scratchpad must hold at least one block"
         );
         Scratchpad {
-            resident: HashMap::new(),
+            resident: FxHashMap::default(),
             capacity_blocks: capacity_bytes / CACHE_BLOCK_BYTES,
             accesses: 0,
         }

@@ -1,7 +1,6 @@
 //! Per-process page table with deterministic frame allocation.
 
-use std::collections::HashMap;
-
+use fusion_types::hash::FxHashMap;
 use fusion_types::{PhysAddr, Pid, VirtAddr, PAGE_BYTES};
 
 /// Maps `(pid, virtual page)` to physical frames.
@@ -22,7 +21,10 @@ use fusion_types::{PhysAddr, Pid, VirtAddr, PAGE_BYTES};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    frames: HashMap<(Pid, u64), u64>,
+    // Hot-map audit: entry/get/insert by key — never iterated. Frame
+    // numbers come from the bump allocator in *touch order*, so the
+    // physical layout is independent of the hasher.
+    frames: FxHashMap<(Pid, u64), u64>,
     next_frame: u64,
     walks: u64,
 }

@@ -1,7 +1,6 @@
 //! The accelerator reverse map (AX-RMAP).
 
-use std::collections::HashMap;
-
+use fusion_types::hash::FxHashMap;
 use fusion_types::{BlockAddr, PhysAddr, Pid};
 
 /// A pointer into the shared L1X: which line a physical block lives in.
@@ -53,7 +52,8 @@ pub enum RmapOutcome {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AxRmap {
-    map: HashMap<u64, L1xPointer>, // physical block index -> pointer
+    // Hot-map audit: get/insert/remove by key — never iterated.
+    map: FxHashMap<u64, L1xPointer>, // physical block index -> pointer
     lookups: u64,
     synonyms_detected: u64,
 }

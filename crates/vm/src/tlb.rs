@@ -66,11 +66,18 @@ impl Tlb {
         self.lookups += 1;
         self.tick += 1;
         let vpage = va.value() / PAGE_BYTES as u64;
-        if let Some(e) = self
+        // Hot-path note: hits swap the matching entry to slot 0, so the
+        // page-local streams that dominate these traces resolve in one
+        // probe instead of scanning the whole array. Entry order carries no
+        // semantics — hit/miss is set membership and the LRU victim is the
+        // unique minimum stamp — so results are unchanged.
+        if let Some(pos) = self
             .entries
-            .iter_mut()
-            .find(|e| e.pid == pid && e.vpage == vpage)
+            .iter()
+            .position(|e| e.pid == pid && e.vpage == vpage)
         {
+            self.entries.swap(0, pos);
+            let e = &mut self.entries[0];
             e.stamp = self.tick;
             return PhysAddr::new(e.frame_base + va.page_offset() as u64);
         }

@@ -6,8 +6,6 @@
 //! cargo run --example protocol_trace
 //! ```
 
-use std::collections::HashMap;
-
 use fusion_repro::coherence::acc::{AccAccess, AccTile, TileTiming};
 use fusion_repro::coherence::ForwardRule;
 use fusion_repro::types::{AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, Pid, WritePolicy};
@@ -93,7 +91,7 @@ fn main() {
     println!("\n== Figure 5: FUSION vs FUSION-Dx ==");
     let mut tile = small_tile();
     let c = BlockAddr::from_index(0xc0);
-    let mut rules = HashMap::new();
+    let mut rules = fusion_repro::types::hash::FxHashMap::default();
     rules.insert(
         (pid, c),
         vec![ForwardRule {

@@ -1,0 +1,102 @@
+//! Golden-stats snapshots: the committed `sim run --json` output for every
+//! system on two suites at `Scale::Small` must reproduce byte-for-byte.
+//!
+//! The snapshots under `tests/golden/` were captured before the hot-path
+//! overhaul (shared decoded traces, FxHash maps, pow2 index masks), so
+//! this suite is the proof that the overhaul is invisible in every
+//! simulated statistic — not just the headline cycle counts. `SimResult::
+//! to_json` deliberately excludes host-side `RunMetrics`, which is what
+//! makes the byte comparison stable across machines and runs.
+
+use fusion_core::{run_system, SystemKind};
+use fusion_types::SystemConfig;
+use fusion_workloads::{build_suite, Scale, SuiteId};
+
+const CASES: [(&str, SuiteId, &str, SystemKind, &str); 8] = [
+    (
+        "fft",
+        SuiteId::Fft,
+        "sc",
+        SystemKind::Scratch,
+        include_str!("golden/fft_sc.json"),
+    ),
+    (
+        "fft",
+        SuiteId::Fft,
+        "sh",
+        SystemKind::Shared,
+        include_str!("golden/fft_sh.json"),
+    ),
+    (
+        "fft",
+        SuiteId::Fft,
+        "fu",
+        SystemKind::Fusion,
+        include_str!("golden/fft_fu.json"),
+    ),
+    (
+        "fft",
+        SuiteId::Fft,
+        "fu-dx",
+        SystemKind::FusionDx,
+        include_str!("golden/fft_fu-dx.json"),
+    ),
+    (
+        "adpcm",
+        SuiteId::Adpcm,
+        "sc",
+        SystemKind::Scratch,
+        include_str!("golden/adpcm_sc.json"),
+    ),
+    (
+        "adpcm",
+        SuiteId::Adpcm,
+        "sh",
+        SystemKind::Shared,
+        include_str!("golden/adpcm_sh.json"),
+    ),
+    (
+        "adpcm",
+        SuiteId::Adpcm,
+        "fu",
+        SystemKind::Fusion,
+        include_str!("golden/adpcm_fu.json"),
+    ),
+    (
+        "adpcm",
+        SuiteId::Adpcm,
+        "fu-dx",
+        SystemKind::FusionDx,
+        include_str!("golden/adpcm_fu-dx.json"),
+    ),
+];
+
+#[test]
+fn every_golden_snapshot_reproduces_byte_for_byte() {
+    let cfg = SystemConfig::small();
+    for (suite_name, suite, sys_name, kind, golden) in CASES {
+        let wl = build_suite(suite, Scale::Small);
+        let res = run_system(kind, &wl, &cfg);
+        // Snapshots were written via shell redirection and carry a
+        // trailing newline; the JSON bytes themselves must match exactly.
+        assert_eq!(
+            res.to_json(),
+            golden.trim_end(),
+            "stats drifted from tests/golden/{suite_name}_{sys_name}.json — \
+             the hot path is supposed to be result-invisible"
+        );
+    }
+}
+
+#[test]
+fn golden_snapshots_cover_every_system_on_both_suites() {
+    for suite in ["fft", "adpcm"] {
+        let mut labels: Vec<&str> = CASES
+            .iter()
+            .filter(|c| c.0 == suite)
+            .map(|c| c.3.label())
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels, ["FU", "FU-Dx", "SC", "SH"]);
+    }
+}
