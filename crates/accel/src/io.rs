@@ -12,6 +12,7 @@
 
 use std::io::{self, Read, Write};
 
+use fusion_types::error::SimError;
 use fusion_types::ids::ExecUnit;
 use fusion_types::{AccessKind, AxcId, Pid, VirtAddr};
 
@@ -19,6 +20,21 @@ use crate::trace::{MemRef, OpCounts, Phase, Workload};
 
 const MAGIC: &[u8; 4] = b"FTRC";
 const VERSION: u16 = 1;
+
+/// Minimum encoded size of one phase: name length (2) + unit (2) + mlp
+/// (2) + lease (4) + ops (16) + refs count (4). Bounds the `phases`
+/// count field against the remaining payload before any allocation.
+const MIN_PHASE_BYTES: usize = 2 + 2 + 2 + 4 + 8 + 8 + 4;
+
+/// Minimum encoded size of one reference: varint delta (1) + size (1) +
+/// kind (1) + gap (2). Bounds the per-phase `refs` count field.
+const MIN_REF_BYTES: usize = 1 + 1 + 1 + 2;
+
+fn malformed(what: impl Into<String>) -> SimError {
+    SimError::DecodeError {
+        detail: what.into(),
+    }
+}
 
 /// Little-endian append helpers for the encode path (the subset of
 /// `bytes::BufMut` this module needs, implemented on `Vec<u8>` so the
@@ -105,44 +121,6 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
-/// Error produced when decoding a trace file.
-#[derive(Debug)]
-pub enum TraceIoError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// The input is not a trace file or is structurally damaged.
-    Malformed(&'static str),
-    /// The file uses an unsupported format version.
-    UnsupportedVersion(u16),
-}
-
-impl std::fmt::Display for TraceIoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            TraceIoError::Malformed(what) => write!(f, "malformed trace file: {what}"),
-            TraceIoError::UnsupportedVersion(v) => {
-                write!(f, "unsupported trace version {v} (expected {VERSION})")
-            }
-        }
-    }
-}
-
-impl std::error::Error for TraceIoError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            TraceIoError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for TraceIoError {
-    fn from(e: io::Error) -> Self {
-        TraceIoError::Io(e)
-    }
-}
-
 /// Encodes `workload` into its binary trace representation.
 pub fn encode_workload(workload: &Workload) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + workload.total_refs() as usize * 6);
@@ -180,43 +158,56 @@ pub fn encode_workload(workload: &Workload) -> Vec<u8> {
 
 /// Decodes a workload from its binary trace representation.
 ///
+/// Hardened against arbitrary input: truncation at any offset, length
+/// fields larger than the remaining payload (no attacker-controlled
+/// allocation), and trailing garbage after the last phase all return
+/// [`SimError::DecodeError`]; no input panics.
+///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] when the input is truncated, damaged, or a
-/// different format version.
-pub fn decode_workload(mut data: &[u8]) -> Result<Workload, TraceIoError> {
+/// Returns [`SimError::DecodeError`] when the input is truncated, damaged,
+/// or a different format version.
+pub fn decode_workload(mut data: &[u8]) -> Result<Workload, SimError> {
     if data.remaining() < 6 || &data[..4] != MAGIC {
-        return Err(TraceIoError::Malformed("bad magic"));
+        return Err(malformed("bad magic"));
     }
     data.advance(4);
     let version = data.get_u16_le();
     if version != VERSION {
-        return Err(TraceIoError::UnsupportedVersion(version));
+        return Err(malformed(format!(
+            "unsupported trace version {version} (expected {VERSION})"
+        )));
     }
     // Verify the trailing payload checksum before parsing anything.
     if data.remaining() < 8 {
-        return Err(TraceIoError::Malformed("missing checksum"));
+        return Err(malformed("missing checksum"));
     }
     let (payload, mut tail) = data.split_at(data.len() - 8);
     let stored = tail.get_u64_le();
     if fnv1a(payload) != stored {
-        return Err(TraceIoError::Malformed("checksum mismatch"));
+        return Err(malformed("checksum mismatch"));
     }
     data = payload;
     if data.remaining() < 4 {
-        return Err(TraceIoError::Malformed("truncated header"));
+        return Err(malformed("truncated header"));
     }
     let pid = Pid::new(data.get_u32_le());
     let name = get_str(&mut data)?;
     if data.remaining() < 4 {
-        return Err(TraceIoError::Malformed("truncated phase count"));
+        return Err(malformed("truncated phase count"));
     }
     let phases_len = data.get_u32_le() as usize;
+    // A phase encodes to at least MIN_PHASE_BYTES: a count that cannot fit
+    // in the remaining payload is corrupt, and rejecting it here keeps the
+    // allocation below bounded by the input size.
+    if phases_len > data.remaining() / MIN_PHASE_BYTES {
+        return Err(malformed("phase count exceeds payload"));
+    }
     let mut phases = Vec::with_capacity(phases_len);
     for _ in 0..phases_len {
         let pname = get_str(&mut data)?;
         if data.remaining() < 2 + 2 + 4 + 8 + 8 + 4 {
-            return Err(TraceIoError::Malformed("truncated phase header"));
+            return Err(malformed("truncated phase header"));
         }
         let unit_raw = data.get_u16_le();
         let unit = if unit_raw == u16::MAX {
@@ -231,18 +222,23 @@ pub fn decode_workload(mut data: &[u8]) -> Result<Workload, TraceIoError> {
             fp_ops: data.get_u64_le(),
         };
         let refs_len = data.get_u32_le() as usize;
+        // Same bound as the phase count: each reference needs at least
+        // MIN_REF_BYTES of payload.
+        if refs_len > data.remaining() / MIN_REF_BYTES {
+            return Err(malformed("reference count exceeds payload"));
+        }
         let mut refs = Vec::with_capacity(refs_len);
         let mut prev = 0u64;
         for _ in 0..refs_len {
             let delta = unzigzag(get_varint(&mut data)?);
-            let addr = (prev as i64 + delta) as u64;
+            let addr = (prev as i64).wrapping_add(delta) as u64;
             prev = addr;
             if data.remaining() < 4 {
-                return Err(TraceIoError::Malformed("truncated reference"));
+                return Err(malformed("truncated reference"));
             }
             let size = data.get_u8();
             if size == 0 || size as usize > fusion_types::CACHE_BLOCK_BYTES {
-                return Err(TraceIoError::Malformed("reference size out of range"));
+                return Err(malformed("reference size out of range"));
             }
             let kind = if data.get_u8() != 0 {
                 AccessKind::Store
@@ -266,6 +262,12 @@ pub fn decode_workload(mut data: &[u8]) -> Result<Workload, TraceIoError> {
             lease,
         });
     }
+    if data.remaining() != 0 {
+        return Err(malformed(format!(
+            "{} bytes of trailing garbage after the last phase",
+            data.remaining()
+        )));
+    }
     Ok(Workload { name, pid, phases })
 }
 
@@ -274,19 +276,22 @@ pub fn decode_workload(mut data: &[u8]) -> Result<Workload, TraceIoError> {
 /// # Errors
 ///
 /// Propagates I/O failures from `writer`.
-pub fn write_workload<W: Write>(workload: &Workload, mut writer: W) -> Result<(), TraceIoError> {
-    writer.write_all(&encode_workload(workload))?;
-    Ok(())
+pub fn write_workload<W: Write>(workload: &Workload, mut writer: W) -> io::Result<()> {
+    writer.write_all(&encode_workload(workload))
 }
 
 /// Reads a workload previously written with [`write_workload`].
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] on I/O failure or malformed input.
-pub fn read_workload<R: Read>(mut reader: R) -> Result<Workload, TraceIoError> {
+/// Returns [`SimError::DecodeError`] on I/O failure or malformed input
+/// (read failures surface as decode errors: the trace could not be
+/// obtained, so it could not be decoded).
+pub fn read_workload<R: Read>(mut reader: R) -> Result<Workload, SimError> {
     let mut data = Vec::new();
-    reader.read_to_end(&mut data)?;
+    reader
+        .read_to_end(&mut data)
+        .map_err(|e| malformed(format!("trace read failed: {e}")))?;
     decode_workload(&data)
 }
 
@@ -295,16 +300,16 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(data: &mut &[u8]) -> Result<String, TraceIoError> {
+fn get_str(data: &mut &[u8]) -> Result<String, SimError> {
     if data.remaining() < 2 {
-        return Err(TraceIoError::Malformed("truncated string length"));
+        return Err(malformed("truncated string length"));
     }
     let len = data.get_u16_le() as usize;
     if data.remaining() < len {
-        return Err(TraceIoError::Malformed("truncated string"));
+        return Err(malformed("truncated string"));
     }
     let s = std::str::from_utf8(&data[..len])
-        .map_err(|_| TraceIoError::Malformed("non-utf8 string"))?
+        .map_err(|_| malformed("non-utf8 string"))?
         .to_owned();
     data.advance(len);
     Ok(s)
@@ -330,12 +335,12 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(data: &mut &[u8]) -> Result<u64, TraceIoError> {
+fn get_varint(data: &mut &[u8]) -> Result<u64, SimError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         if data.remaining() < 1 {
-            return Err(TraceIoError::Malformed("truncated varint"));
+            return Err(malformed("truncated varint"));
         }
         let byte = data.get_u8();
         v |= ((byte & 0x7f) as u64) << shift;
@@ -344,7 +349,7 @@ fn get_varint(data: &mut &[u8]) -> Result<u64, TraceIoError> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(TraceIoError::Malformed("varint overflow"));
+            return Err(malformed("varint overflow"));
         }
     }
 }
@@ -411,18 +416,29 @@ mod tests {
         assert_eq!(wl, back);
     }
 
+    /// Recomputes and rewrites the trailing checksum so structural
+    /// corruption tests reach the parser instead of dying at the
+    /// checksum gate.
+    fn reseal(bytes: &mut [u8]) {
+        let n = bytes.len() - 8;
+        let sum = fnv1a(&bytes[6..n]);
+        bytes[n..].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
     fn rejects_bad_magic_and_version() {
         assert!(matches!(
             decode_workload(b"NOPE\x01\x00"),
-            Err(TraceIoError::Malformed(_))
+            Err(SimError::DecodeError { .. })
         ));
         let mut bytes = encode_workload(&sample()).to_vec();
         bytes[4] = 9; // version
-        assert!(matches!(
-            decode_workload(&bytes),
-            Err(TraceIoError::UnsupportedVersion(9))
-        ));
+        match decode_workload(&bytes) {
+            Err(SimError::DecodeError { detail }) => {
+                assert!(detail.contains("version 9"), "{detail}")
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -433,6 +449,55 @@ mod tests {
                 decode_workload(&bytes[..cut]).is_err(),
                 "truncation at {cut} was accepted"
             );
+        }
+    }
+
+    #[test]
+    fn rejects_length_field_overflow_without_allocating() {
+        // Phase count pumped to u32::MAX with a valid checksum: the bound
+        // check must reject it before Vec::with_capacity sees the value.
+        let mut bytes = encode_workload(&sample());
+        let pos = 6 + 4 + 2 + sample().name.len(); // pid + name-len + name
+        bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        match decode_workload(&bytes) {
+            Err(SimError::DecodeError { detail }) => {
+                assert!(detail.contains("phase count"), "{detail}")
+            }
+            other => panic!("expected phase-count error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ref_count_overflow_without_allocating() {
+        // The first phase's refs count sits right before its first ref:
+        // header is pid(4) + name(2+1) + phases(4), phase "f" is
+        // name(2+1) + unit(2) + mlp(2) + lease(4) + ops(16) + count(4).
+        let mut bytes = encode_workload(&sample());
+        let pos = 6 + 4 + 3 + 4 + 3 + 2 + 2 + 4 + 16;
+        bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        match decode_workload(&bytes) {
+            Err(SimError::DecodeError { detail }) => {
+                assert!(detail.contains("reference count"), "{detail}")
+            }
+            other => panic!("expected ref-count error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        // Append payload bytes after the last phase and reseal: the
+        // checksum passes but the parser must notice the leftovers.
+        let mut bytes = encode_workload(&sample());
+        let n = bytes.len() - 8;
+        bytes.splice(n..n, [0xAAu8, 0xBB, 0xCC]);
+        reseal(&mut bytes);
+        match decode_workload(&bytes) {
+            Err(SimError::DecodeError { detail }) => {
+                assert!(detail.contains("trailing garbage"), "{detail}")
+            }
+            other => panic!("expected trailing-garbage error, got {other:?}"),
         }
     }
 

@@ -11,12 +11,13 @@ use fusion_workloads::{build_suite, Scale, SuiteId};
 
 fn bench(c: &mut Criterion) {
     let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-    let base = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+    let base = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
     let renewed = run_system(
         SystemKind::Fusion,
         &wl,
         &SystemConfig::small().with_lease_renewal(true),
-    );
+    )
+    .unwrap();
     println!(
         "lease renewal ablation (FFT tiny): {} renewals, data transfers {} -> {}, \
          cache energy {:.0} -> {:.0} pJ",

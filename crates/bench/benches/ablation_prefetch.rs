@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let wl = build_suite(SuiteId::Tracking, Scale::Tiny);
     for degree in [0usize, 2, 4, 8] {
         let cfg = SystemConfig::small().with_l1x_prefetch(degree);
-        let res = run_system(SystemKind::Fusion, &wl, &cfg);
+        let res = run_system(SystemKind::Fusion, &wl, &cfg).unwrap();
         let t = res.tile.unwrap();
         println!(
             "prefetch ablation (TRACK tiny) degree={degree}: {} cycles, {} installs, {} hits",
@@ -22,7 +22,13 @@ fn bench(c: &mut Criterion) {
     for degree in [0usize, 4] {
         let cfg = SystemConfig::small().with_l1x_prefetch(degree);
         g.bench_function(format!("track_tiny/degree{degree}"), |b| {
-            b.iter(|| std::hint::black_box(run_system(SystemKind::Fusion, &wl, &cfg).total_cycles))
+            b.iter(|| {
+                std::hint::black_box(
+                    run_system(SystemKind::Fusion, &wl, &cfg)
+                        .unwrap()
+                        .total_cycles,
+                )
+            })
         });
     }
     g.finish();

@@ -9,7 +9,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");
     for kind in SystemKind::FIG6 {
         g.bench_function(format!("filter_tiny/{kind}"), |b| {
-            b.iter(|| std::hint::black_box(run_system(kind, &wl, &Default::default()).total_cycles))
+            b.iter(|| {
+                std::hint::black_box(
+                    run_system(kind, &wl, &Default::default())
+                        .unwrap()
+                        .total_cycles,
+                )
+            })
         });
     }
     g.finish();

@@ -11,14 +11,18 @@ fn bench(c: &mut Criterion) {
     g.bench_function("small", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).cache_energy(),
+                run_system(SystemKind::Fusion, &wl, &SystemConfig::small())
+                    .unwrap()
+                    .cache_energy(),
             )
         })
     });
     g.bench_function("large", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_system(SystemKind::Fusion, &wl, &SystemConfig::large()).cache_energy(),
+                run_system(SystemKind::Fusion, &wl, &SystemConfig::large())
+                    .unwrap()
+                    .cache_energy(),
             )
         })
     });

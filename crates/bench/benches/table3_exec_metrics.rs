@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
     c.bench_function("table3/fusion_run_adpcm_tiny", |b| {
         b.iter(|| {
-            let res = run_system(SystemKind::Fusion, &wl, &Default::default());
+            let res = run_system(SystemKind::Fusion, &wl, &Default::default()).unwrap();
             std::hint::black_box(res.function_totals("coder"))
         })
     });

@@ -10,14 +10,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
     g.bench_function("writeback", |b| {
         b.iter(|| {
-            let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+            let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
             std::hint::black_box(res.traffic().flits_axc_l1x)
         })
     });
     g.bench_function("write_through", |b| {
         let cfg = SystemConfig::small().with_write_policy(WritePolicy::WriteThrough);
         b.iter(|| {
-            let res = run_system(SystemKind::Fusion, &wl, &cfg);
+            let res = run_system(SystemKind::Fusion, &wl, &cfg).unwrap();
             std::hint::black_box(res.traffic().flits_axc_l1x)
         })
     });

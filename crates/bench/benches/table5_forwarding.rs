@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("table5/fusion_dx_run_fft_tiny", |b| {
         b.iter(|| {
-            let res = run_system(SystemKind::FusionDx, &wl, &Default::default());
+            let res = run_system(SystemKind::FusionDx, &wl, &Default::default()).unwrap();
             std::hint::black_box(res.tile.unwrap().fwd_l0_to_l0)
         })
     });

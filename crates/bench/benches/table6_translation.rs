@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let wl = build_suite(SuiteId::Tracking, Scale::Tiny);
     c.bench_function("table6/fusion_translation_track_tiny", |b| {
         b.iter(|| {
-            let res = run_system(SystemKind::Fusion, &wl, &Default::default());
+            let res = run_system(SystemKind::Fusion, &wl, &Default::default()).unwrap();
             std::hint::black_box((res.ax_tlb_lookups, res.ax_rmap_lookups))
         })
     });

@@ -6,8 +6,8 @@
 //!             [--lease-renewal] [--prefetch <N>] [--json]
 //! sim trace   --suite <...> [--scale ...] --out <file>
 //! sim replay  --system <...> --trace <file> [--json] [config flags]
-//! sim compare --suite <...> [--scale ...] [--threads <N>] [config flags]
-//! sim sweep   [--scale ...] [--threads <N>] [--json] [config flags]
+//! sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]
+//! sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]
 //! ```
 //!
 //! `trace` materializes a workload into a compact binary file (the paper's
@@ -15,11 +15,21 @@
 //! rebuilding the kernels. `compare` runs all four systems on one suite
 //! and `sweep` runs the full 4-system × 7-suite evaluation grid — both
 //! over the shared-trace worker pool of [`fusion_core::sweep`].
+//!
+//! Exit codes follow the usual convention: 0 on success, 1 when a
+//! simulation or sweep job fails at runtime (completed rows are still
+//! printed, failures are summarized per job on stderr), 2 for usage
+//! errors. The robustness flags — `--retries <N>`, `--fail-fast`,
+//! `--budget <cycles>`, `--deadline-ms <N>` and `--inject <seed:count>` —
+//! map onto the fault-tolerant sweep engine of DESIGN.md §10.
 
 use std::process::ExitCode;
 
 use fusion_accel::{io as trace_io, Workload};
-use fusion_core::{full_grid, run_system, SimResult, Sweep, SweepJob, SystemKind};
+use fusion_core::{
+    full_grid, run_system, FaultPlan, SimResult, Sweep, SweepJob, SweepOutcome, SweepSummary,
+    SystemKind, Watchdog,
+};
 use fusion_energy::Component;
 use fusion_types::{SystemConfig, WritePolicy};
 use fusion_workloads::{build_suite, Scale, SuiteId};
@@ -31,12 +41,24 @@ sim run     --system <sc|sh|fu|fu-dx> --suite <fft|disp|track|adpcm|susan|filt|h
 sim trace   --suite <...> [--scale ...] --out <file>\n  \
 sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n              \
 [--lease-renewal] [--prefetch <N>]\n  \
-sim compare --suite <...> [--scale ...] [--threads <N>] [config flags]\n  \
-sim sweep   [--scale ...] [--threads <N>] [--json] [config flags]";
+sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]\n  \
+sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]\n\n\
+robustness flags (compare/sweep):\n  \
+--retries <N>         retry panicked/timed-out jobs up to N extra times\n  \
+--fail-fast           stop claiming new jobs after the first permanent failure\n  \
+--budget <cycles>     per-job simulated-cycle budget (livelock watchdog)\n  \
+--deadline-ms <N>     per-job wall-clock deadline in milliseconds\n  \
+--inject <seed:count> deterministically inject <count> faults (testing)\n\n\
+exit codes: 0 success, 1 runtime/sweep failure, 2 usage error";
+
+/// Usage errors exit 2, distinguishing bad invocations from jobs that
+/// failed at runtime (exit 1).
+const EXIT_USAGE: u8 = 2;
+const EXIT_RUNTIME: u8 = 1;
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// Prints the specific problem, then the usage text.
@@ -46,10 +68,26 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 /// Options that stand alone (no value follows).
-const FLAG_KEYS: [&str; 4] = ["json", "large", "write-through", "lease-renewal"];
+const FLAG_KEYS: [&str; 5] = [
+    "json",
+    "large",
+    "write-through",
+    "lease-renewal",
+    "fail-fast",
+];
 /// Options that consume the next argument as their value.
-const VALUE_KEYS: [&str; 7] = [
-    "system", "suite", "scale", "out", "trace", "prefetch", "threads",
+const VALUE_KEYS: [&str; 11] = [
+    "system",
+    "suite",
+    "scale",
+    "out",
+    "trace",
+    "prefetch",
+    "threads",
+    "retries",
+    "budget",
+    "deadline-ms",
+    "inject",
 ];
 
 #[derive(Debug)]
@@ -105,6 +143,18 @@ impl Args {
                 .map_err(|_| format!("--{key} expects a non-negative integer, got '{v}'")),
         }
     }
+
+    /// Parses `--inject seed:count` into a fault plan over `jobs` slots.
+    fn fault_plan(&self, jobs: usize) -> Result<Option<FaultPlan>, String> {
+        let Some(spec) = self.get("inject") else {
+            return Ok(None);
+        };
+        let err = || format!("--inject expects '<seed>:<count>', got '{spec}'");
+        let (seed, count) = spec.split_once(':').ok_or_else(err)?;
+        let seed: u64 = seed.parse().map_err(|_| err())?;
+        let count: usize = count.parse().map_err(|_| err())?;
+        Ok(Some(FaultPlan::seeded(seed, jobs, count)))
+    }
 }
 
 fn parse_system(s: &str) -> Option<SystemKind> {
@@ -155,6 +205,74 @@ fn config_from(args: &Args) -> Result<SystemConfig, String> {
     Ok(cfg)
 }
 
+/// Applies the shared sweep/robustness flags to a fresh [`Sweep`].
+fn sweep_from(scale: Scale, args: &Args, jobs: usize) -> Result<Sweep, String> {
+    let mut sweep = Sweep::new(scale);
+    if let Some(n) = args.numeric("threads")? {
+        sweep = sweep.threads(n);
+    }
+    if let Some(n) = args.numeric("retries")? {
+        sweep = sweep.retries(n as u32);
+    }
+    sweep = sweep.fail_fast(args.flag("fail-fast"));
+    let watchdog = Watchdog {
+        max_sim_cycles: args.numeric("budget")?.map(|n| n as u64),
+        wall_deadline_ms: args.numeric("deadline-ms")?.map(|n| n as u64),
+    };
+    sweep = sweep.watchdog(watchdog);
+    if let Some(plan) = args.fault_plan(jobs)? {
+        sweep = sweep.with_faults(plan);
+    }
+    Ok(sweep)
+}
+
+/// Summarizes every failed job on stderr and says whether the sweep was
+/// clean. `expected` is the grid size before any fail-fast truncation.
+fn report_failures(outcomes: &[SweepOutcome], expected: usize) -> bool {
+    let summary = SweepSummary::of(outcomes);
+    if summary.all_ok() && outcomes.len() == expected {
+        return true;
+    }
+    eprintln!(
+        "sweep: {} completed, {} failed, {} retried",
+        summary.completed, summary.failed, summary.retried
+    );
+    for o in outcomes {
+        if let Err(e) = &o.result {
+            eprintln!(
+                "  FAILED {} [{}] after {} attempt(s): {e}",
+                o.job.label(),
+                e.kind_label(),
+                o.attempts
+            );
+        }
+    }
+    if outcomes.len() < expected {
+        eprintln!(
+            "  fail-fast: {} grid point(s) not attempted",
+            expected - outcomes.len()
+        );
+    }
+    false
+}
+
+/// Minimal JSON string escaping for error messages (the only free-form
+/// text that crosses into the `--json` output).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn report(res: &SimResult, json: bool) {
     if json {
         // The stats serializer lives on SimResult so the golden-stats
@@ -193,19 +311,23 @@ fn report(res: &SimResult, json: bool) {
     );
 }
 
-fn run(system: SystemKind, wl: &Workload, cfg: &SystemConfig, json: bool) {
-    let res = run_system(system, wl, cfg);
-    report(&res, json);
+fn run(system: SystemKind, wl: &Workload, cfg: &SystemConfig, json: bool) -> ExitCode {
+    match run_system(system, wl, cfg) {
+        Ok(res) => {
+            report(&res, json);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation failed [{}]: {e}", e.kind_label());
+            ExitCode::from(EXIT_RUNTIME)
+        }
+    }
 }
 
 /// `compare`: all four systems on one suite, over the sweep pool with a
 /// single shared trace, with per-job host timings.
-fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<(), String> {
+fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<bool, String> {
     let cfg = config_from(args)?;
-    let mut sweep = Sweep::new(scale);
-    if let Some(n) = args.numeric("threads")? {
-        sweep = sweep.threads(n);
-    }
     let jobs: Vec<SweepJob> = [
         SystemKind::Scratch,
         SystemKind::Shared,
@@ -215,6 +337,8 @@ fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<(), String> {
     .into_iter()
     .map(|kind| SweepJob::new(kind, suite, cfg.clone()))
     .collect();
+    let expected = jobs.len();
+    let sweep = sweep_from(scale, args, expected)?;
     let pool = sweep.pool_size(jobs.len());
     let started = std::time::Instant::now();
     let outcomes = sweep.run(jobs);
@@ -224,7 +348,7 @@ fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<(), String> {
         "system", "cycles", "dma%", "cache energy", "L2 acc", "LtU mean", "wall ms"
     );
     for o in &outcomes {
-        let res = &o.result;
+        let Ok(res) = &o.result else { continue };
         println!(
             "{:<10} {:>12} {:>8.2} {:>14} {:>10} {:>10.1} {:>9.1}",
             res.system,
@@ -236,57 +360,75 @@ fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<(), String> {
             res.metrics.wall_time().as_secs_f64() * 1e3,
         );
     }
-    let busy: u64 = outcomes.iter().map(|o| o.result.metrics.wall_nanos).sum();
+    let busy: u64 = outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|r| r.metrics.wall_nanos)
+        .sum();
     println!(
         "pool: {pool} worker(s), {:.1} ms wall ({:.1} ms of simulation)",
         total.as_secs_f64() * 1e3,
         busy as f64 / 1e6,
     );
-    Ok(())
+    Ok(report_failures(&outcomes, expected))
 }
 
 /// `sweep`: the full 4-system × 7-suite grid over the worker pool.
-fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
+fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let cfg = config_from(args)?;
-    let mut sweep = Sweep::new(scale);
-    if let Some(n) = args.numeric("threads")? {
-        sweep = sweep.threads(n);
-    }
     let jobs = full_grid(&cfg);
+    let expected = jobs.len();
+    let sweep = sweep_from(scale, args, expected)?;
     let pool = sweep.pool_size(jobs.len());
     let started = std::time::Instant::now();
     let outcomes = sweep.run(jobs);
     let total = started.elapsed();
     if args.flag("json") {
-        // One JSON object per grid point; the "result" payload is exactly
-        // what `sim run --json` prints for the same (system, suite, config).
+        // One JSON object per grid point; for completed jobs the "result"
+        // payload is exactly what `sim run --json` prints for the same
+        // (system, suite, config); failed jobs carry an "error" object.
         println!("[");
         for (i, o) in outcomes.iter().enumerate() {
-            let m = o.result.metrics;
-            println!(
-                "{{\"suite\":\"{}\",\"system\":\"{}\",\"wall_ms\":{:.3},\
-                 \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
-                 \"refs_per_sec\":{:.0},\"result\":{}}}{}",
-                o.job.suite.label(),
-                o.job.system.label(),
-                m.wall_time().as_secs_f64() * 1e3,
-                m.queue_delay().as_secs_f64() * 1e3,
-                m.sim_events,
-                m.refs_simulated,
-                m.refs_per_sec(),
-                o.result.to_json(),
-                if i + 1 < outcomes.len() { "," } else { "" },
-            );
+            let tail = if i + 1 < outcomes.len() { "," } else { "" };
+            match &o.result {
+                Ok(res) => {
+                    let m = res.metrics;
+                    println!(
+                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"wall_ms\":{:.3},\
+                         \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
+                         \"refs_per_sec\":{:.0},\"result\":{}}}{tail}",
+                        o.job.suite.label(),
+                        o.job.system.label(),
+                        m.wall_time().as_secs_f64() * 1e3,
+                        m.queue_delay().as_secs_f64() * 1e3,
+                        m.sim_events,
+                        m.refs_simulated,
+                        m.refs_per_sec(),
+                        res.to_json(),
+                    );
+                }
+                Err(e) => {
+                    println!(
+                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"attempts\":{},\
+                         \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}{tail}",
+                        o.job.suite.label(),
+                        o.job.system.label(),
+                        o.attempts,
+                        e.kind_label(),
+                        json_escape(&e.to_string()),
+                    );
+                }
+            }
         }
         println!("]");
-        return Ok(());
+        return Ok(report_failures(&outcomes, expected));
     }
     println!(
         "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9} {:>9}",
         "suite", "system", "cycles", "cache energy", "events", "wall ms", "queue ms"
     );
     for o in &outcomes {
-        let res = &o.result;
+        let Ok(res) = &o.result else { continue };
         let m = res.metrics;
         println!(
             "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
@@ -299,11 +441,12 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
             m.queue_delay().as_secs_f64() * 1e3,
         );
     }
-    let busy: u64 = outcomes.iter().map(|o| o.result.metrics.wall_nanos).sum();
-    let refs: u64 = outcomes
+    let done: Vec<&SimResult> = outcomes
         .iter()
-        .map(|o| o.result.metrics.refs_simulated)
-        .sum();
+        .filter_map(|o| o.result.as_ref().ok())
+        .collect();
+    let busy: u64 = done.iter().map(|r| r.metrics.wall_nanos).sum();
+    let refs: u64 = done.iter().map(|r| r.metrics.refs_simulated).sum();
     println!(
         "{} jobs on {pool} worker(s): {:.1} ms wall, {:.1} ms of simulation ({:.2}x), \
          {:.2} Mrefs/s",
@@ -313,7 +456,7 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<(), String> {
         busy as f64 / total.as_nanos().max(1) as f64,
         refs as f64 * 1e3 / total.as_nanos().max(1) as f64,
     );
-    Ok(())
+    Ok(report_failures(&outcomes, expected))
 }
 
 fn main() -> ExitCode {
@@ -341,7 +484,7 @@ fn main() -> ExitCode {
                 Err(e) => return usage_error(&e),
             };
             let wl = build_suite(suite, scale);
-            run(system, &wl, &cfg, args.flag("json"));
+            return run(system, &wl, &cfg, args.flag("json"));
         }
         "trace" => {
             let (Some(suite), Some(out)) =
@@ -357,12 +500,12 @@ fn main() -> ExitCode {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("cannot create {out}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_RUNTIME);
                 }
             };
             if let Err(e) = trace_io::write_workload(&wl, file) {
                 eprintln!("trace write failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
             eprintln!(
                 "wrote {} ({} phases, {} refs)",
@@ -378,16 +521,20 @@ fn main() -> ExitCode {
             let Some(scale) = parse_scale(args.get("scale")) else {
                 return usage();
             };
-            if let Err(e) = compare(suite, scale, &args) {
-                return usage_error(&e);
+            match compare(suite, scale, &args) {
+                Err(e) => return usage_error(&e),
+                Ok(false) => return ExitCode::from(EXIT_RUNTIME),
+                Ok(true) => {}
             }
         }
         "sweep" => {
             let Some(scale) = parse_scale(args.get("scale")) else {
                 return usage();
             };
-            if let Err(e) = sweep_cmd(scale, &args) {
-                return usage_error(&e);
+            match sweep_cmd(scale, &args) {
+                Err(e) => return usage_error(&e),
+                Ok(false) => return ExitCode::from(EXIT_RUNTIME),
+                Ok(true) => {}
             }
         }
         "replay" => {
@@ -400,7 +547,7 @@ fn main() -> ExitCode {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("cannot open {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_RUNTIME);
                 }
             };
             let cfg = match config_from(&args) {
@@ -410,11 +557,11 @@ fn main() -> ExitCode {
             let wl = match trace_io::read_workload(file) {
                 Ok(wl) => wl,
                 Err(e) => {
-                    eprintln!("trace read failed: {e}");
-                    return ExitCode::FAILURE;
+                    eprintln!("trace read failed [{}]: {e}", e.kind_label());
+                    return ExitCode::from(EXIT_RUNTIME);
                 }
             };
-            run(system, &wl, &cfg, args.flag("json"));
+            return run(system, &wl, &cfg, args.flag("json"));
         }
         other => return usage_error(&format!("unknown subcommand '{other}'")),
     }
@@ -487,6 +634,50 @@ mod tests {
     }
 
     #[test]
+    fn robustness_flags_parse_and_apply() {
+        let args = Args::parse(&argv(&[
+            "--retries",
+            "2",
+            "--fail-fast",
+            "--budget",
+            "100000",
+            "--deadline-ms",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(args.numeric("retries").unwrap(), Some(2));
+        assert_eq!(args.numeric("budget").unwrap(), Some(100_000));
+        assert_eq!(args.numeric("deadline-ms").unwrap(), Some(5000));
+        assert!(args.flag("fail-fast"));
+        let sweep = sweep_from(Scale::Tiny, &args, 28).unwrap();
+        assert!(sweep.pool_size(28) >= 1);
+    }
+
+    #[test]
+    fn inject_spec_parses_and_rejects_garbage() {
+        let args = Args::parse(&argv(&["--inject", "7:3"])).unwrap();
+        let plan = args.fault_plan(28).unwrap().unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan, FaultPlan::seeded(7, 28, 3));
+
+        for bad in ["7", "x:3", "7:x", ":"] {
+            let args = Args::parse(&argv(&["--inject", bad])).unwrap();
+            let err = args.fault_plan(28).unwrap_err();
+            assert!(err.contains("--inject"), "{err}");
+        }
+        let args = Args::parse(&argv(&["--json"])).unwrap();
+        assert!(args.fault_plan(28).unwrap().is_none());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
     fn usage_lists_every_subcommand_and_option() {
         for needle in [
             "run",
@@ -497,6 +688,12 @@ mod tests {
             "--prefetch",
             "--threads",
             "--json",
+            "--retries",
+            "--fail-fast",
+            "--budget",
+            "--deadline-ms",
+            "--inject",
+            "exit codes",
         ] {
             assert!(USAGE.contains(needle), "usage text missing '{needle}'");
         }

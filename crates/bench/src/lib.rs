@@ -96,10 +96,11 @@ impl SuiteRun {
             .iter()
             .map(|&id| {
                 let mut next = || {
-                    outcomes
+                    let o = outcomes
                         .next()
-                        .expect("sweep returns one outcome per job, in grid order")
-                        .result
+                        .expect("sweep returns one outcome per job, in grid order");
+                    o.result
+                        .unwrap_or_else(|e| panic!("table job {} failed: {e}", o.job.label()))
                 };
                 SuiteRun {
                     id,

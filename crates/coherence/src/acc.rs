@@ -22,10 +22,14 @@
 //! between one L0X and the L1X — there are no sharer probes.
 
 use fusion_mem::{ReplacementPolicy, SetAssocCache};
+use fusion_types::error::InvariantViolation;
+use fusion_types::fault::{ProtocolFault, ProtocolFaultKind};
 use fusion_types::hash::FxHashMap;
 use fusion_types::{
     AccessKind, AxcId, BlockAddr, CacheGeometry, Cycle, Pid, WritePolicy, CACHE_BLOCK_BYTES,
 };
+
+use crate::checker::ProtocolChecker;
 
 /// Per-L0X-line ACC metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +333,9 @@ pub struct AccTile {
     /// Hot-map audit: probed/inserted/removed by key — never iterated.
     in_flight: Vec<FxHashMap<(Pid, BlockAddr), Cycle>>,
     stats: TileStats,
+    /// Opt-in runtime invariant checker (DESIGN.md §10). `None` on the
+    /// trusted path: the hot loop pays one predictable branch.
+    checker: Option<Box<ProtocolChecker>>,
 }
 
 impl AccTile {
@@ -358,12 +365,24 @@ impl AccTile {
             renewal: false,
             in_flight: (0..axcs).map(|_| FxHashMap::default()).collect(),
             stats: TileStats::default(),
+            checker: None,
         }
     }
 
     /// Enables the lease-renewal extension (see DESIGN.md "Extensions").
     pub fn set_lease_renewal(&mut self, enabled: bool) {
         self.renewal = enabled;
+    }
+
+    /// Enables runtime ACC invariant checking, optionally planting a
+    /// deliberate protocol fault (see [`ProtocolChecker`]).
+    pub fn enable_checker(&mut self, fault: Option<ProtocolFault>) {
+        self.checker = Some(Box::new(ProtocolChecker::new(fault)));
+    }
+
+    /// The first ACC invariant violation the checker observed, if any.
+    pub fn checker_violation(&self) -> Option<InvariantViolation> {
+        self.checker.as_ref().and_then(|c| c.violation().cloned())
     }
 
     /// Number of accelerators in the tile.
@@ -552,6 +571,9 @@ impl AccTile {
             },
             keep_dirty,
         );
+        if self.checker.is_some() {
+            self.checker_after_grant(axc, pid, block);
+        }
         self.maybe_write_through(axc, kind, done)
     }
 
@@ -655,6 +677,9 @@ impl AccTile {
         // Record the in-flight fill so overlapping accesses to the same
         // block merge (MSHR) instead of using the data before it lands.
         self.in_flight[axc.index()].insert((pid, block), line_done);
+        if self.checker.is_some() {
+            self.checker_after_grant(axc, pid, block);
+        }
         match self.maybe_write_through(axc, kind, done) {
             AccAccess::L0Hit { done_at } | AccAccess::L1Served { done_at } => done_at,
             AccAccess::FillNeeded { .. } => unreachable!("write-through never refills"),
@@ -694,6 +719,70 @@ impl AccTile {
                 self.dirty_per_set[axc.index()][vset] -= 1;
                 // Evicted before lease expiry: early self-downgrade.
                 self.writeback(axc, v.pid, v.block, v.meta.lease_end.min(lease_end), false);
+            }
+        }
+    }
+
+    /// Checker-mode validation after an epoch grant or renewal: counts the
+    /// event, applies a planted fault if it fires now, then re-validates
+    /// the ACC invariants for the granted line. Off the hot path — callers
+    /// guard with a single `checker.is_some()` branch — and purely
+    /// observational: only stat-free probes, no energy, no clocks.
+    #[cold]
+    fn checker_after_grant(&mut self, axc: AxcId, pid: Pid, block: BlockAddr) {
+        let fired = match self.checker.as_deref_mut() {
+            Some(c) => c.next_event(),
+            None => return,
+        };
+        if let Some(kind) = fired {
+            match kind {
+                ProtocolFaultKind::LeaseOverrun => {
+                    // Extend the granted L0 lease past the line's global
+                    // epoch horizon without telling the L1X.
+                    if let Some(l) = self.l0x[axc.index()].probe_mut(pid, block) {
+                        l.meta.lease_end += 1_000_000;
+                    }
+                }
+                ProtocolFaultKind::GtimeRegression => {
+                    // Rewind the L1X's global lease horizon below the live
+                    // L0 lease just granted.
+                    if let Some(l1) = self.l1x.probe_mut(pid, block) {
+                        l1.meta.gtime = Cycle::ZERO;
+                    }
+                }
+                // MESI faults are planted in the directory, not here.
+                ProtocolFaultKind::EmptySharerList | ProtocolFaultKind::WrongOwner => {}
+            }
+        }
+        let Some(l1) = self.l1x.probe(pid, block).map(|l| l.meta) else {
+            return;
+        };
+        let mut viol: Option<(&'static str, String)> = None;
+        // Invariant: a write-locked line always names its writer — the
+        // self-downgrade path depends on it.
+        if l1.write_locked_until.is_some() && l1.writer.is_none() {
+            viol = Some((
+                "write-lock-writer",
+                format!("block {block:?} is write-locked with no writer recorded"),
+            ));
+        }
+        // Invariant (lease containment): every live L0 lease is covered by
+        // its backing line's GTIME, or the L1X could answer a host forward
+        // while an L0X still considers its copy valid.
+        if let Some(l0) = self.l0x[axc.index()].probe(pid, block) {
+            if l0.meta.lease_end > l1.gtime {
+                viol = Some((
+                    "lease-containment",
+                    format!(
+                        "block {block:?}: L0 lease_end {:?} exceeds L1X gtime {:?}",
+                        l0.meta.lease_end, l1.gtime
+                    ),
+                ));
+            }
+        }
+        if let Some((rule, detail)) = viol {
+            if let Some(c) = self.checker.as_deref_mut() {
+                c.record("ACC", rule, detail);
             }
         }
     }
@@ -1100,6 +1189,56 @@ mod tests {
             }
             AccAccess::L1Served { done_at } | AccAccess::L0Hit { done_at } => done_at,
         }
+    }
+
+    #[test]
+    fn clean_checker_run_is_silent_and_invisible() {
+        // Same access sequence with and without the checker: identical
+        // timing, identical stats, no violation.
+        let mut plain = tile(2);
+        let mut checked = tile(2);
+        checked.enable_checker(None);
+        for (axc, block, kind, now) in [
+            (0u16, 1u64, AccessKind::Load, 0u64),
+            (1, 1, AccessKind::Store, 40),
+            (0, 2, AccessKind::Store, 300),
+            (1, 2, AccessKind::Load, 900),
+            (0, 1, AccessKind::Load, 1500),
+        ] {
+            let a = fill(&mut plain, axc, block, kind, now, 200);
+            let b = fill(&mut checked, axc, block, kind, now, 200);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), checked.stats());
+        assert_eq!(checked.checker_violation(), None);
+    }
+
+    #[test]
+    fn planted_lease_overrun_is_caught() {
+        let mut t = tile(1);
+        t.enable_checker(Some(ProtocolFault {
+            at_event: 1,
+            kind: ProtocolFaultKind::LeaseOverrun,
+        }));
+        fill(&mut t, 0, 1, AccessKind::Load, 0, 100);
+        assert_eq!(t.checker_violation(), None, "fault not planted yet");
+        fill(&mut t, 0, 2, AccessKind::Load, 500, 100);
+        let v = t.checker_violation().expect("overrun must be flagged");
+        assert_eq!(v.protocol, "ACC");
+        assert_eq!(v.rule, "lease-containment");
+    }
+
+    #[test]
+    fn planted_gtime_regression_is_caught() {
+        let mut t = tile(1);
+        t.enable_checker(Some(ProtocolFault {
+            at_event: 0,
+            kind: ProtocolFaultKind::GtimeRegression,
+        }));
+        fill(&mut t, 0, 1, AccessKind::Store, 0, 100);
+        let v = t.checker_violation().expect("regression must be flagged");
+        assert_eq!(v.protocol, "ACC");
+        assert_eq!(v.rule, "lease-containment");
     }
 
     #[test]

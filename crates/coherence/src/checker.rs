@@ -1,0 +1,109 @@
+//! Runtime protocol invariant checker (opt-in; DESIGN.md §10).
+//!
+//! Both protocol engines — the ACC tile ([`crate::AccTile`]) and the MESI
+//! directory ([`crate::DirectoryMesi`]) — can carry a [`ProtocolChecker`]
+//! that re-validates their transition invariants after every state change.
+//! The checker is pure observation: it reads protocol state through
+//! non-LRU-updating probes, charges no energy and advances no clocks, so a
+//! clean checker-on run produces results identical to a checker-off run.
+//!
+//! To prove the checking is live (not vacuously green), a
+//! [`ProtocolFault`] can be planted: at the `at_event`-th checked event
+//! the engine deliberately corrupts its own state *before* validating, and
+//! a correct checker must then report the violation. The fault-injection
+//! harness (`fusion_core::faults`) uses this path end-to-end.
+
+use fusion_types::error::InvariantViolation;
+use fusion_types::fault::{ProtocolFault, ProtocolFaultKind};
+
+/// Per-engine checker state: a planted fault (optional), the checked-event
+/// counter that triggers it, and the first recorded violation.
+///
+/// Violations are sticky and first-wins: protocol engines keep simulating
+/// after a violation (the system model polls at phase boundaries), and the
+/// earliest violation is the one with diagnostic value — everything after
+/// it may be collateral damage of the corrupted state.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolChecker {
+    fault: Option<ProtocolFault>,
+    events: u64,
+    violation: Option<InvariantViolation>,
+}
+
+impl ProtocolChecker {
+    /// A checker with an optional planted fault.
+    pub fn new(fault: Option<ProtocolFault>) -> Self {
+        ProtocolChecker {
+            fault,
+            events: 0,
+            violation: None,
+        }
+    }
+
+    /// Counts one checked event; returns the fault to apply if the planted
+    /// fault fires exactly now.
+    pub fn next_event(&mut self) -> Option<ProtocolFaultKind> {
+        let idx = self.events;
+        self.events += 1;
+        match self.fault {
+            Some(f) if f.at_event == idx => Some(f.kind),
+            _ => None,
+        }
+    }
+
+    /// Records a violation (first one wins).
+    pub fn record(&mut self, protocol: &'static str, rule: &'static str, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(InvariantViolation {
+                protocol,
+                rule,
+                detail,
+            });
+        }
+    }
+
+    /// The first violation observed, if any.
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Number of events checked so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_the_planted_event() {
+        let mut c = ProtocolChecker::new(Some(ProtocolFault {
+            at_event: 2,
+            kind: ProtocolFaultKind::LeaseOverrun,
+        }));
+        assert_eq!(c.next_event(), None);
+        assert_eq!(c.next_event(), None);
+        assert_eq!(c.next_event(), Some(ProtocolFaultKind::LeaseOverrun));
+        assert_eq!(c.next_event(), None);
+        assert_eq!(c.events(), 4);
+    }
+
+    #[test]
+    fn no_fault_never_fires() {
+        let mut c = ProtocolChecker::new(None);
+        for _ in 0..100 {
+            assert_eq!(c.next_event(), None);
+        }
+    }
+
+    #[test]
+    fn first_violation_wins() {
+        let mut c = ProtocolChecker::new(None);
+        assert!(c.violation().is_none());
+        c.record("ACC", "first", "a".into());
+        c.record("ACC", "second", "b".into());
+        assert_eq!(c.violation().unwrap().rule, "first");
+    }
+}

@@ -42,7 +42,9 @@
 //! ```
 
 pub mod acc;
+pub mod checker;
 pub mod mesi;
 
 pub use acc::{AccAccess, AccTile, ForwardRule, HostForward, L1Evicted, TileStats, TileTiming};
+pub use checker::ProtocolChecker;
 pub use mesi::{AgentId, DirectoryMesi, MesiOutcome, MesiReq};

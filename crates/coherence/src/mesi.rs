@@ -14,7 +14,11 @@
 use std::fmt;
 
 use fusion_mem::{ReplacementPolicy, SetAssocCache};
+use fusion_types::error::InvariantViolation;
+use fusion_types::fault::{ProtocolFault, ProtocolFaultKind};
 use fusion_types::{BlockAddr, CacheGeometry, PhysAddr, Pid};
+
+use crate::checker::ProtocolChecker;
 
 /// Identifies a coherence agent below the shared L2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,6 +118,9 @@ pub struct DirectoryMesi {
     putx: u64,
     invalidations: u64,
     forwards: u64,
+    /// Opt-in runtime invariant checker (DESIGN.md §10). `None` on the
+    /// trusted path: `request` pays one predictable branch.
+    checker: Option<Box<ProtocolChecker>>,
 }
 
 impl DirectoryMesi {
@@ -126,7 +133,19 @@ impl DirectoryMesi {
             putx: 0,
             invalidations: 0,
             forwards: 0,
+            checker: None,
         }
+    }
+
+    /// Enables runtime directory invariant checking, optionally planting a
+    /// deliberate protocol fault (see [`ProtocolChecker`]).
+    pub fn enable_checker(&mut self, fault: Option<ProtocolFault>) {
+        self.checker = Some(Box::new(ProtocolChecker::new(fault)));
+    }
+
+    /// The first MESI invariant violation the checker observed, if any.
+    pub fn checker_violation(&self) -> Option<InvariantViolation> {
+        self.checker.as_ref().and_then(|c| c.violation().cloned())
     }
 
     /// The Table 2 L2: 4 MB, 16-way.
@@ -232,7 +251,63 @@ impl DirectoryMesi {
             .expect("line just installed or hit");
         line.meta = DirEntry { state: next };
         line.dirty = line.dirty || req == MesiReq::GetX;
+        if self.checker.is_some() {
+            self.checker_after_request(agent, block, req);
+        }
         out
+    }
+
+    /// Checker-mode validation after a directory transition: counts the
+    /// event, applies a planted fault if it fires now, then re-validates
+    /// the stable-state invariants for the touched entry. Off the hot
+    /// path — `request` guards with a single `is_some` branch — and purely
+    /// observational.
+    #[cold]
+    fn checker_after_request(&mut self, agent: AgentId, block: BlockAddr, req: MesiReq) {
+        let fired = match self.checker.as_deref_mut() {
+            Some(c) => c.next_event(),
+            None => return,
+        };
+        if let Some(kind) = fired {
+            if let Some(line) = self.l2.probe_mut(Self::PHYS, block) {
+                match kind {
+                    ProtocolFaultKind::EmptySharerList => {
+                        // Leave the illegal Shared(∅) state behind.
+                        line.meta.state = DirState::Shared(0);
+                    }
+                    ProtocolFaultKind::WrongOwner => {
+                        // Hand ownership to an agent the protocol never
+                        // granted it to.
+                        line.meta.state = DirState::Owned(AgentId(agent.0 ^ 1));
+                    }
+                    // ACC faults are planted in the tile, not here.
+                    ProtocolFaultKind::LeaseOverrun | ProtocolFaultKind::GtimeRegression => {}
+                }
+            }
+        }
+        let Some(state) = self.l2.probe(Self::PHYS, block).map(|l| l.meta.state) else {
+            return;
+        };
+        let viol: Option<(&'static str, String)> = match state {
+            // Invariant: a Shared entry names at least one sharer — an
+            // empty list is Idle, and the difference decides whether host
+            // requests cross into the tile.
+            DirState::Shared(0) => Some((
+                "nonempty-sharers",
+                format!("block {block:?} is Shared with an empty sharer list"),
+            )),
+            // Invariant: a GetX leaves the requester as the sole owner.
+            _ if req == MesiReq::GetX && state != DirState::Owned(agent) => Some((
+                "getx-ownership",
+                format!("block {block:?}: GetX by {agent} left state {state:?}"),
+            )),
+            _ => None,
+        };
+        if let Some((rule, detail)) = viol {
+            if let Some(c) = self.checker.as_deref_mut() {
+                c.record("MESI", rule, detail);
+            }
+        }
     }
 
     /// Handles an eviction notice (PUTX / clean replacement hint) from an
@@ -455,6 +530,65 @@ mod tests {
         assert_eq!(dir.owner(pa(10)), Some(tile2));
         let out = dir.request(AgentId::TILE, pa(10), MesiReq::GetX);
         assert_eq!(out.forwarded_to, vec![tile2]);
+    }
+
+    #[test]
+    fn clean_checker_run_is_silent() {
+        let mut dir = DirectoryMesi::table2();
+        dir.enable_checker(None);
+        dir.request(AgentId::HOST_L1, pa(20), MesiReq::GetS);
+        dir.request(AgentId::TILE, pa(20), MesiReq::GetS);
+        dir.request(AgentId::HOST_L1, pa(20), MesiReq::GetX);
+        dir.eviction_notice(AgentId::HOST_L1, pa(20), true);
+        assert_eq!(dir.checker_violation(), None);
+    }
+
+    #[test]
+    fn checker_does_not_change_outcomes() {
+        let mut plain = DirectoryMesi::table2();
+        let mut checked = DirectoryMesi::table2();
+        checked.enable_checker(None);
+        for (agent, block, req) in [
+            (AgentId::HOST_L1, 21, MesiReq::GetS),
+            (AgentId::TILE, 21, MesiReq::GetX),
+            (AgentId::HOST_L1, 22, MesiReq::GetX),
+            (AgentId::TILE, 22, MesiReq::GetS),
+        ] {
+            assert_eq!(
+                plain.request(agent, pa(block), req),
+                checked.request(agent, pa(block), req)
+            );
+        }
+    }
+
+    #[test]
+    fn planted_empty_sharer_list_is_caught() {
+        let mut dir = DirectoryMesi::table2();
+        dir.enable_checker(Some(ProtocolFault {
+            at_event: 1,
+            kind: ProtocolFaultKind::EmptySharerList,
+        }));
+        dir.request(AgentId::HOST_L1, pa(23), MesiReq::GetS);
+        assert_eq!(dir.checker_violation(), None, "fault not planted yet");
+        dir.request(AgentId::TILE, pa(23), MesiReq::GetS);
+        let v = dir.checker_violation().expect("empty list must be flagged");
+        assert_eq!(v.protocol, "MESI");
+        assert_eq!(v.rule, "nonempty-sharers");
+    }
+
+    #[test]
+    fn planted_wrong_owner_is_caught() {
+        let mut dir = DirectoryMesi::table2();
+        dir.enable_checker(Some(ProtocolFault {
+            at_event: 0,
+            kind: ProtocolFaultKind::WrongOwner,
+        }));
+        dir.request(AgentId::TILE, pa(24), MesiReq::GetX);
+        let v = dir
+            .checker_violation()
+            .expect("wrong owner must be flagged");
+        assert_eq!(v.protocol, "MESI");
+        assert_eq!(v.rule, "getx-ownership");
     }
 
     #[test]

@@ -85,12 +85,18 @@ pub struct HostSide {
 }
 
 impl HostSide {
-    /// Builds the host side for `cfg`.
+    /// Builds the host side for `cfg`. When the runtime protocol checker
+    /// is enabled on `cfg`, the MESI directory validates its transition
+    /// invariants (and applies any planted fault) from the first request.
     pub fn new(cfg: &SystemConfig) -> Self {
+        let mut dir = DirectoryMesi::new(cfg.l2);
+        if cfg.checker.enabled {
+            dir.enable_checker(cfg.checker.mesi_fault);
+        }
         HostSide {
             cfg: cfg.clone(),
             energy: EnergyModel::new(cfg),
-            dir: DirectoryMesi::new(cfg.l2),
+            dir,
             host_l1: SetAssocCache::new(cfg.host_l1, ReplacementPolicy::Lru),
             mem: MainMemory::table2(),
             page_table: PageTable::new(),
@@ -120,6 +126,13 @@ impl HostSide {
     /// L2 data-array accesses so far.
     pub fn l2_accesses(&self) -> u64 {
         self.dir.l2_hits() + self.dir.l2_misses()
+    }
+
+    /// The first MESI invariant violation the runtime checker recorded,
+    /// if any (always `None` on the trusted path). Polled by the systems
+    /// at phase boundaries.
+    pub fn checker_violation(&self) -> Option<fusion_types::error::InvariantViolation> {
+        self.dir.checker_violation()
     }
 
     fn phys_block(pa: PhysAddr) -> BlockAddr {

@@ -18,10 +18,13 @@
 //! [`runner::run_system`] executes a workload on a system and returns a
 //! [`result::SimResult`] with the cycle counts, the Figure 6a energy
 //! breakdown, the Figure 6c traffic counts and the Table 6 translation
-//! statistics. [`sweep::Sweep`] fans a whole grid of
+//! statistics — or a typed [`fusion_types::error::SimError`] when the
+//! configuration is unusable, a watchdog fires or the opt-in protocol
+//! checker flags an invariant. [`sweep::Sweep`] fans a whole grid of
 //! `(system, suite, config)` jobs out over a worker pool with each suite's
-//! trace materialized once — the substrate behind `sim sweep`,
-//! `sim compare` and the `tables` binary.
+//! trace materialized once, isolating every job (panic capture, watchdogs,
+//! deterministic retry — see DESIGN.md §10 and [`faults`]) — the substrate
+//! behind `sim sweep`, `sim compare` and the `tables` binary.
 //!
 //! # Examples
 //!
@@ -30,17 +33,23 @@
 //! use fusion_workloads::{build_suite, Scale, SuiteId};
 //!
 //! let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-//! let sc = run_system(SystemKind::Scratch, &wl, &Default::default());
-//! let fu = run_system(SystemKind::Fusion, &wl, &Default::default());
+//! let sc = run_system(SystemKind::Scratch, &wl, &Default::default()).unwrap();
+//! let fu = run_system(SystemKind::Fusion, &wl, &Default::default()).unwrap();
 //! assert!(sc.total_cycles > 0 && fu.total_cycles > 0);
 //! ```
 
+pub mod faults;
 pub mod host;
 pub mod result;
 pub mod runner;
 pub mod sweep;
 pub mod systems;
 
+pub use faults::{Fault, FaultPlan, SplitMix64};
 pub use result::{PhaseResult, RunMetrics, SimResult, Traffic};
-pub use runner::{run_system, run_system_decoded, SystemKind};
-pub use sweep::{full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, TraceCache};
+pub use runner::{
+    run_system, run_system_decoded, run_system_guarded, validate_config, RunControl, SystemKind,
+};
+pub use sweep::{
+    full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, SweepSummary, TraceCache, Watchdog,
+};

@@ -1,7 +1,10 @@
 //! Experiment runner: one entry point per (system, workload) pair.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use fusion_accel::{DecodedTrace, Workload};
-use fusion_types::SystemConfig;
+use fusion_types::error::{SimError, TimeoutKind};
+use fusion_types::{SystemConfig, CACHE_BLOCK_BYTES};
 
 use crate::result::SimResult;
 use crate::systems::{FusionSystem, ScratchSystem, SharedSystem};
@@ -40,7 +43,117 @@ impl std::fmt::Display for SystemKind {
     }
 }
 
+/// Watchdog hooks a run polls at phase boundaries (DESIGN.md §10): a
+/// simulated-cycle forward-progress budget (the protocol-livelock guard)
+/// and a cooperative cancellation flag that a wall-clock monitor thread
+/// sets when a deadline passes. The default is unlimited: no budget, no
+/// cancellation, zero work on the trusted path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControl<'a> {
+    /// Job label stamped into [`SimError::Timeout`] diagnostics.
+    pub label: &'a str,
+    /// Simulated-cycle budget: exceeding it at a phase boundary aborts
+    /// the run with [`TimeoutKind::SimCycleBudget`].
+    pub max_sim_cycles: Option<u64>,
+    /// Cooperative cancellation: when set, the run aborts at the next
+    /// phase boundary with [`TimeoutKind::WallClock`].
+    pub cancel: Option<&'a AtomicBool>,
+    /// The wall-clock deadline in milliseconds, for the `Timeout` report
+    /// when `cancel` fires.
+    pub wall_deadline_ms: u64,
+}
+
+impl RunControl<'_> {
+    /// Checks the watchdogs against the current simulated time. Called at
+    /// phase boundaries; every phase is finite (its replay is bounded by
+    /// its reference count), so boundary checks always fire eventually.
+    #[inline]
+    pub fn check(&self, sim_now: u64) -> Result<(), SimError> {
+        if let Some(budget) = self.max_sim_cycles {
+            if sim_now > budget {
+                return Err(SimError::Timeout {
+                    job: self.label.to_string(),
+                    kind: TimeoutKind::SimCycleBudget,
+                    limit: budget,
+                });
+            }
+        }
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(SimError::Timeout {
+                    job: self.label.to_string(),
+                    kind: TimeoutKind::WallClock,
+                    limit: self.wall_deadline_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rejects configurations that cannot describe a simulatable machine
+/// before any cycle is spent on them.
+pub fn validate_config(cfg: &SystemConfig) -> Result<(), SimError> {
+    let geoms = [
+        ("l0x", &cfg.l0x),
+        ("scratchpad", &cfg.scratchpad),
+        ("l1x", &cfg.l1x),
+        ("host_l1", &cfg.host_l1),
+        ("l2", &cfg.l2),
+    ];
+    for (name, g) in geoms {
+        if g.capacity_bytes < CACHE_BLOCK_BYTES {
+            return Err(SimError::ConfigError {
+                detail: format!(
+                    "{name} capacity {} is smaller than one {CACHE_BLOCK_BYTES}-byte block",
+                    g.capacity_bytes
+                ),
+            });
+        }
+        if g.ways == 0 {
+            return Err(SimError::ConfigError {
+                detail: format!("{name} needs at least one way"),
+            });
+        }
+        if g.banks == 0 {
+            return Err(SimError::ConfigError {
+                detail: format!("{name} needs at least one bank"),
+            });
+        }
+    }
+    let links = [
+        ("link_axc_l1x", &cfg.link_axc_l1x),
+        ("link_l1x_l2", &cfg.link_l1x_l2),
+        ("link_l0x_l0x", &cfg.link_l0x_l0x),
+    ];
+    for (name, l) in links {
+        if l.bytes_per_cycle == 0 {
+            return Err(SimError::ConfigError {
+                detail: format!("{name} bandwidth must be nonzero"),
+            });
+        }
+    }
+    if cfg.control_message_bytes == 0 {
+        return Err(SimError::ConfigError {
+            detail: "control messages cannot be zero bytes".to_string(),
+        });
+    }
+    if !cfg.checker.enabled && (cfg.checker.acc_fault.is_some() || cfg.checker.mesi_fault.is_some())
+    {
+        return Err(SimError::ConfigError {
+            detail: "protocol faults require the checker to be enabled".to_string(),
+        });
+    }
+    Ok(())
+}
+
 /// Runs `workload` on the chosen system with the given configuration.
+///
+/// # Errors
+///
+/// Returns [`SimError::ConfigError`] for an unusable configuration and
+/// [`SimError::InvariantViolation`] when the opt-in protocol checker
+/// flags a transition (see DESIGN.md §10).
 ///
 /// # Examples
 ///
@@ -49,10 +162,14 @@ impl std::fmt::Display for SystemKind {
 /// use fusion_workloads::{build_suite, Scale, SuiteId};
 ///
 /// let wl = build_suite(SuiteId::Filter, Scale::Tiny);
-/// let res = run_system(SystemKind::Shared, &wl, &Default::default());
+/// let res = run_system(SystemKind::Shared, &wl, &Default::default()).unwrap();
 /// assert_eq!(res.system, "SHARED");
 /// ```
-pub fn run_system(kind: SystemKind, workload: &Workload, cfg: &SystemConfig) -> SimResult {
+pub fn run_system(
+    kind: SystemKind,
+    workload: &Workload,
+    cfg: &SystemConfig,
+) -> Result<SimResult, SimError> {
     // Decode outside the timed region so refs/sec measures pure replay,
     // matching the sweep's shared-decoding path.
     let decoded = DecodedTrace::decode(workload);
@@ -65,28 +182,52 @@ pub fn run_system(kind: SystemKind, workload: &Workload, cfg: &SystemConfig) -> 
 /// This is the sweep's fast path: the decoding is computed once per
 /// `(suite, scale)` and shared across every system and configuration that
 /// replays it. Results are bit-identical to [`run_system`].
+///
+/// # Errors
+///
+/// Same as [`run_system`].
 pub fn run_system_decoded(
     kind: SystemKind,
     workload: &Workload,
     decoded: &DecodedTrace,
     cfg: &SystemConfig,
-) -> SimResult {
+) -> Result<SimResult, SimError> {
+    run_system_guarded(kind, workload, decoded, cfg, &RunControl::default())
+}
+
+/// [`run_system_decoded`] with watchdogs: the sweep engine's entry point.
+/// `ctl` carries the simulated-cycle budget and the wall-clock
+/// cancellation flag, both polled at phase boundaries.
+///
+/// # Errors
+///
+/// Same as [`run_system`], plus [`SimError::Timeout`] when a watchdog in
+/// `ctl` fires.
+pub fn run_system_guarded(
+    kind: SystemKind,
+    workload: &Workload,
+    decoded: &DecodedTrace,
+    cfg: &SystemConfig,
+    ctl: &RunControl<'_>,
+) -> Result<SimResult, SimError> {
+    validate_config(cfg)?;
     let started = std::time::Instant::now();
     let mut res = match kind {
-        SystemKind::Scratch => ScratchSystem::new(cfg).run_decoded(workload, decoded),
-        SystemKind::Shared => SharedSystem::new(cfg).run_decoded(workload, decoded),
-        SystemKind::Fusion => FusionSystem::new(cfg).run_decoded(workload, decoded),
-        SystemKind::FusionDx => FusionSystem::new_dx(cfg).run_decoded(workload, decoded),
+        SystemKind::Scratch => ScratchSystem::new(cfg).run_guarded(workload, decoded, ctl)?,
+        SystemKind::Shared => SharedSystem::new(cfg).run_guarded(workload, decoded, ctl)?,
+        SystemKind::Fusion => FusionSystem::new(cfg).run_guarded(workload, decoded, ctl)?,
+        SystemKind::FusionDx => FusionSystem::new_dx(cfg).run_guarded(workload, decoded, ctl)?,
     };
     res.metrics.wall_nanos = started.elapsed().as_nanos() as u64;
     res.metrics.sim_events = res.total_sim_events();
     res.metrics.refs_simulated = decoded.total_refs();
-    res
+    Ok(res)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusion_types::fault::{CheckerConfig, ProtocolFaultKind};
     use fusion_workloads::{build_suite, Scale, SuiteId};
 
     #[test]
@@ -105,7 +246,7 @@ mod tests {
             SystemKind::Fusion,
             SystemKind::FusionDx,
         ] {
-            let res = run_system(kind, &wl, &SystemConfig::small());
+            let res = run_system(kind, &wl, &SystemConfig::small()).unwrap();
             assert!(res.total_cycles > 0, "{kind}");
             assert!(res.memory_energy().value() > 0.0, "{kind}");
         }
@@ -121,8 +262,8 @@ mod tests {
             SystemKind::Fusion,
             SystemKind::FusionDx,
         ] {
-            let a = run_system(kind, &wl, &SystemConfig::small());
-            let b = run_system_decoded(kind, &wl, &decoded, &SystemConfig::small());
+            let a = run_system(kind, &wl, &SystemConfig::small()).unwrap();
+            let b = run_system_decoded(kind, &wl, &decoded, &SystemConfig::small()).unwrap();
             // SimResult equality covers every stat (metrics excluded).
             assert_eq!(a, b, "{kind}");
             assert_eq!(b.metrics.refs_simulated, wl.total_refs());
@@ -132,9 +273,131 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-        let a = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
-        let b = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let a = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
+        let b = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn broken_configs_are_rejected_up_front() {
+        let wl = build_suite(SuiteId::Filter, Scale::Tiny);
+        let mut cfg = SystemConfig::small();
+        cfg.l1x.banks = 0;
+        match run_system(SystemKind::Fusion, &wl, &cfg) {
+            Err(SimError::ConfigError { detail }) => assert!(detail.contains("l1x"), "{detail}"),
+            other => panic!("expected ConfigError, got {other:?}"),
+        }
+        let mut cfg = SystemConfig::small();
+        cfg.link_l1x_l2.bytes_per_cycle = 0;
+        assert!(matches!(
+            run_system(SystemKind::Shared, &wl, &cfg),
+            Err(SimError::ConfigError { .. })
+        ));
+        let mut cfg = SystemConfig::small();
+        cfg.checker.acc_fault = Some(fusion_types::fault::ProtocolFault {
+            at_event: 0,
+            kind: ProtocolFaultKind::LeaseOverrun,
+        });
+        assert!(matches!(
+            run_system(SystemKind::Fusion, &wl, &cfg),
+            Err(SimError::ConfigError { .. })
+        ));
+    }
+
+    #[test]
+    fn sim_cycle_budget_yields_timeout() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        let decoded = DecodedTrace::decode(&wl);
+        let ctl = RunControl {
+            label: "FFT/FU",
+            max_sim_cycles: Some(10),
+            ..Default::default()
+        };
+        match run_system_guarded(
+            SystemKind::Fusion,
+            &wl,
+            &decoded,
+            &SystemConfig::small(),
+            &ctl,
+        ) {
+            Err(SimError::Timeout { job, kind, limit }) => {
+                assert_eq!(job, "FFT/FU");
+                assert_eq!(kind, TimeoutKind::SimCycleBudget);
+                assert_eq!(limit, 10);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_flag_yields_wall_clock_timeout() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        let decoded = DecodedTrace::decode(&wl);
+        let cancel = AtomicBool::new(true);
+        let ctl = RunControl {
+            label: "FFT/SC",
+            cancel: Some(&cancel),
+            wall_deadline_ms: 1234,
+            ..Default::default()
+        };
+        match run_system_guarded(
+            SystemKind::Scratch,
+            &wl,
+            &decoded,
+            &SystemConfig::small(),
+            &ctl,
+        ) {
+            Err(SimError::Timeout { kind, limit, .. }) => {
+                assert_eq!(kind, TimeoutKind::WallClock);
+                assert_eq!(limit, 1234);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_checker_run_matches_checker_off() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        for kind in [
+            SystemKind::Scratch,
+            SystemKind::Shared,
+            SystemKind::Fusion,
+            SystemKind::FusionDx,
+        ] {
+            let off = run_system(kind, &wl, &SystemConfig::small()).unwrap();
+            let on_cfg = SystemConfig::small().with_checker(CheckerConfig::enabled());
+            let on = run_system(kind, &wl, &on_cfg).unwrap();
+            assert_eq!(off, on, "{kind}: checker-on run diverged");
+        }
+    }
+
+    #[test]
+    fn planted_acc_fault_surfaces_as_invariant_violation() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        let cfg = SystemConfig::small().with_checker(CheckerConfig::with_acc_fault(
+            5,
+            ProtocolFaultKind::LeaseOverrun,
+        ));
+        match run_system(SystemKind::Fusion, &wl, &cfg) {
+            Err(SimError::InvariantViolation(v)) => {
+                assert_eq!(v.protocol, "ACC");
+                assert_eq!(v.rule, "lease-containment");
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planted_mesi_fault_surfaces_as_invariant_violation() {
+        let wl = build_suite(SuiteId::Fft, Scale::Tiny);
+        let cfg = SystemConfig::small().with_checker(CheckerConfig::with_mesi_fault(
+            3,
+            ProtocolFaultKind::WrongOwner,
+        ));
+        match run_system(SystemKind::Shared, &wl, &cfg) {
+            Err(SimError::InvariantViolation(v)) => assert_eq!(v.protocol, "MESI"),
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
     }
 }

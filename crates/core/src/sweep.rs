@@ -1,5 +1,6 @@
-//! Parallel design-space sweep: the substrate behind `sim sweep`,
-//! `sim compare`, the `tables` binary and the criterion benches.
+//! Parallel, fault-tolerant design-space sweep: the substrate behind
+//! `sim sweep`, `sim compare`, the `tables` binary and the criterion
+//! benches.
 //!
 //! The paper's evaluation is a grid — 4 systems × 7 suites × configuration
 //! knobs (Figures 6–7, Tables 3–6). This module runs such a grid as a set
@@ -14,12 +15,27 @@
 //!   sized from [`std::thread::available_parallelism`] (capped by the job
 //!   count, overridable via [`Sweep::threads`]). Workers claim jobs from a
 //!   shared atomic cursor, so long jobs never convoy short ones.
+//! * **Job isolation** — every job runs under
+//!   [`std::panic::catch_unwind`]: a panicking simulation becomes a
+//!   [`SimError::JobPanicked`] in that job's slot instead of tearing down
+//!   the pool, and result slots are written with poison recovery so one
+//!   casualty never forfeits the rest of the grid (DESIGN.md §10).
+//! * **Watchdogs** — [`Watchdog`] arms a per-job simulated-cycle budget
+//!   (the protocol-livelock guard) and a wall-clock deadline enforced by a
+//!   monitor thread through per-job cancellation flags; both surface as
+//!   [`SimError::Timeout`].
+//! * **Retry** — transient failures (panics, timeouts) are retried up to
+//!   [`Sweep::retries`] extra attempts, immediately and deterministically
+//!   (no wall-clock randomness); [`SweepOutcome::attempts`] records the
+//!   count.
 //! * **Determinism** — every simulation is a pure function of its
-//!   `(system, workload, config)` inputs. Results are written into
-//!   per-job slots, so the output order is the grid order regardless of
-//!   which worker finished first, and each [`SimResult`] is identical to
-//!   what a sequential [`crate::runner::run_system`] call produces (equality ignores the
-//!   wall-time metadata; see [`crate::result::RunMetrics`]).
+//!   `(system, workload, config)` inputs, and every injected fault is a
+//!   pure function of the [`FaultPlan`]. Results are written into per-job
+//!   slots, so the output order is the grid order regardless of which
+//!   worker finished first, and each successful [`SimResult`] is identical
+//!   to what a sequential [`crate::runner::run_system`] call produces
+//!   (equality ignores the wall-time metadata; see
+//!   [`crate::result::RunMetrics`]).
 //!
 //! Per-job host-side measurements — wall time, queue delay (submission to
 //! worker pickup) and the simulated event count — come back attached to
@@ -36,20 +52,26 @@
 //! assert_eq!(jobs.len(), 4 * 7);
 //! let outcomes = Sweep::new(Scale::Tiny).run(jobs);
 //! assert_eq!(outcomes.len(), 4 * 7);
-//! assert!(outcomes.iter().all(|o| o.result.total_cycles > 0));
+//! assert!(outcomes
+//!     .iter()
+//!     .all(|o| o.result.as_ref().unwrap().total_cycles > 0));
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use fusion_accel::{DecodedTrace, Workload};
-use fusion_types::SystemConfig;
+use fusion_accel::{io as trace_io, DecodedTrace, Workload};
+use fusion_types::error::SimError;
+use fusion_types::fault::CheckerConfig;
+use fusion_types::{ProtocolFaultKind, SystemConfig};
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
+use crate::faults::{Fault, FaultPlan};
 use crate::result::SimResult;
-use crate::runner::{run_system_decoded, SystemKind};
+use crate::runner::{run_system_guarded, RunControl, SystemKind};
 
 /// One point of the design-space grid: a system, the suite whose trace it
 /// replays, and the configuration to simulate under.
@@ -72,16 +94,69 @@ impl SweepJob {
             config,
         }
     }
+
+    /// Human-readable grid-point label ("FFT/FU"), used in timeout and
+    /// panic diagnostics and the CLI failure report.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.suite, self.system.label())
+    }
 }
 
 /// One finished grid point: the job echoed back plus its simulation
-/// result, with [`SimResult::metrics`] filled in by the pool.
+/// result or typed failure, with [`SimResult::metrics`] filled in by the
+/// pool on success.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// The grid point that was run.
     pub job: SweepJob,
-    /// The simulation result (identical to a sequential `run_system`).
-    pub result: SimResult,
+    /// The simulation result (identical to a sequential `run_system`) or
+    /// the typed error that stopped the job.
+    pub result: Result<SimResult, SimError>,
+    /// How many attempts the job took (`1` = first try; more means the
+    /// retry policy kicked in on transient failures).
+    pub attempts: u32,
+}
+
+/// Aggregate view of a finished sweep, for the CLI's failure report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Jobs that produced a result.
+    pub completed: usize,
+    /// Jobs that ended in a typed error.
+    pub failed: usize,
+    /// Jobs that needed more than one attempt (successful or not).
+    pub retried: usize,
+}
+
+impl SweepSummary {
+    /// Tallies `outcomes`.
+    pub fn of(outcomes: &[SweepOutcome]) -> SweepSummary {
+        SweepSummary {
+            completed: outcomes.iter().filter(|o| o.result.is_ok()).count(),
+            failed: outcomes.iter().filter(|o| o.result.is_err()).count(),
+            retried: outcomes.iter().filter(|o| o.attempts > 1).count(),
+        }
+    }
+
+    /// Whether every job completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+/// Per-job watchdog limits (DESIGN.md §10). The default arms nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Simulated-cycle forward-progress budget per job: a run that passes
+    /// this many cycles is livelocked by definition and aborts with
+    /// [`TimeoutKind::SimCycleBudget`](fusion_types::error::TimeoutKind).
+    pub max_sim_cycles: Option<u64>,
+    /// Wall-clock deadline per job in milliseconds, enforced by the
+    /// monitor thread through the job's cancellation flag
+    /// ([`TimeoutKind::WallClock`](fusion_types::error::TimeoutKind)).
+    /// A deadline of `0` cancels every job at its first phase boundary —
+    /// deterministic, and useful for testing the cancellation plumbing.
+    pub wall_deadline_ms: Option<u64>,
 }
 
 /// The full evaluation grid at one configuration: every system of
@@ -143,11 +218,12 @@ impl TraceCache {
         // The map mutex only guards slot creation — cheap and O(1). The
         // expensive build happens inside the per-key OnceLock, outside the
         // mutex, so distinct suites materialize concurrently and one key
-        // builds exactly once.
+        // builds exactly once. Poison recovery: the guarded state is a
+        // plain map of Arc'd slots, never left half-updated by a panic.
         let slot = Arc::clone(
             self.slots
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .entry((suite, scale))
                 .or_default(),
         );
@@ -172,7 +248,7 @@ impl TraceCache {
     pub fn len(&self) -> usize {
         self.slots
             .lock()
-            .unwrap()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .values()
             .filter(|s| s.get().is_some())
             .count()
@@ -184,22 +260,31 @@ impl TraceCache {
     }
 }
 
-/// Sweep executor: owns the scale, the worker-count policy and the trace
-/// cache.
+/// Sweep executor: owns the scale, the worker-count policy, the trace
+/// cache, the watchdog limits, the retry budget and the fault plan.
 pub struct Sweep {
     scale: Scale,
     threads: Option<usize>,
     traces: Arc<TraceCache>,
+    watchdog: Watchdog,
+    retries: u32,
+    fail_fast: bool,
+    faults: FaultPlan,
 }
 
 impl Sweep {
     /// A sweep at `scale` with the default pool size
-    /// (`available_parallelism`, capped by the job count).
+    /// (`available_parallelism`, capped by the job count), no watchdogs,
+    /// no retries and no faults.
     pub fn new(scale: Scale) -> Sweep {
         Sweep {
             scale,
             threads: None,
             traces: Arc::new(TraceCache::new()),
+            watchdog: Watchdog::default(),
+            retries: 0,
+            fail_fast: false,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -217,6 +302,36 @@ impl Sweep {
         self
     }
 
+    /// Arms the per-job watchdogs.
+    pub fn watchdog(mut self, watchdog: Watchdog) -> Sweep {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Grants each job up to `retries` extra attempts after a *transient*
+    /// failure (a panic or a timeout — see [`SimError::is_transient`]).
+    /// Retries run immediately on the same worker; nothing about them
+    /// depends on wall-clock time, so retried sweeps stay deterministic.
+    pub fn retries(mut self, retries: u32) -> Sweep {
+        self.retries = retries;
+        self
+    }
+
+    /// Stops claiming new jobs after the first *permanent* job failure.
+    /// Jobs already running finish normally; unclaimed grid points are
+    /// absent from the output (the outcomes still come back in grid
+    /// order).
+    pub fn fail_fast(mut self, fail_fast: bool) -> Sweep {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Stages a deterministic fault plan (see [`crate::faults`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Sweep {
+        self.faults = faults;
+        self
+    }
+
     /// The worker count this sweep would use for `jobs` jobs.
     pub fn pool_size(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
@@ -229,8 +344,13 @@ impl Sweep {
     ///
     /// Traces are materialized once per distinct `(suite, scale)` — in
     /// parallel, ahead of the simulations — then the jobs fan out over the
-    /// worker pool. Each outcome's [`SimResult::metrics`] carries the
-    /// job's wall time, queue delay and simulated event count.
+    /// worker pool. Each successful outcome's [`SimResult::metrics`]
+    /// carries the job's wall time, queue delay and simulated event count.
+    ///
+    /// A failing job never takes the sweep down with it: panics are
+    /// caught, watchdog kills come back as timeouts, and every completed
+    /// grid point is returned alongside the typed errors (unless
+    /// [`Sweep::fail_fast`] truncated the grid).
     pub fn run(&self, jobs: Vec<SweepJob>) -> Vec<SweepOutcome> {
         if jobs.is_empty() {
             return Vec::new();
@@ -262,46 +382,211 @@ impl Sweep {
         // grid order no matter the completion order.
         let submitted = Instant::now();
         let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let workers_done = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<SweepOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
+        // Per-job cancellation flags (set by the deadline monitor, polled
+        // by the runs at phase boundaries) and start stamps for the
+        // monitor: 0 = not started, u64::MAX = finished, otherwise the
+        // start time as `1 + ms` since `submitted`.
+        let cancels: Vec<AtomicBool> = jobs.iter().map(|_| AtomicBool::new(false)).collect();
+        let started: Vec<AtomicU64> = jobs.iter().map(|_| AtomicU64::new(0)).collect();
+        if self.watchdog.wall_deadline_ms == Some(0) {
+            // Degenerate deadline: cancel up front instead of racing the
+            // monitor, so the outcome is deterministic.
+            for c in &cancels {
+                c.store(true, Ordering::Relaxed);
+            }
+        }
         let jobs = &jobs;
         let slots_ref = &slots;
         std::thread::scope(|scope| {
+            if let Some(deadline) = self.watchdog.wall_deadline_ms.filter(|&d| d > 0) {
+                let started = &started;
+                let cancels = &cancels;
+                let workers_done = &workers_done;
+                scope.spawn(move || {
+                    while workers_done.load(Ordering::Acquire) < workers {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let now_ms = submitted.elapsed().as_millis() as u64;
+                        for (stamp, cancel) in started.iter().zip(cancels) {
+                            let s = stamp.load(Ordering::Relaxed);
+                            if s != 0 && s != u64::MAX && now_ms.saturating_sub(s - 1) > deadline {
+                                cancel.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let queue_delay = submitted.elapsed().as_nanos() as u64;
-                    let trace = self.traces.get(job.suite, self.scale);
-                    let mut result = run_system_decoded(
-                        job.system,
-                        &trace.workload,
-                        &trace.decoded,
-                        &job.config,
-                    );
-                    result.metrics.queue_delay_nanos = queue_delay;
-                    *slots_ref[i].lock().unwrap() = Some(SweepOutcome {
-                        job: job.clone(),
-                        result,
-                    });
+                scope.spawn(|| {
+                    loop {
+                        if self.fail_fast && stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let queue_delay = submitted.elapsed().as_nanos() as u64;
+                        started[i].store(
+                            1 + submitted.elapsed().as_millis() as u64,
+                            Ordering::Relaxed,
+                        );
+
+                        let max_attempts = 1 + self.retries;
+                        let mut attempts = 0u32;
+                        let mut result = loop {
+                            attempts += 1;
+                            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                self.run_once(job, i, attempts, &cancels[i])
+                            }));
+                            let r = match run {
+                                Ok(r) => r,
+                                // `&*payload`: downcast the inner payload,
+                                // not the Box (a Box is itself `Any`).
+                                Err(payload) => Err(SimError::JobPanicked {
+                                    job: job.label(),
+                                    message: panic_message(&*payload),
+                                }),
+                            };
+                            match r {
+                                Err(e) if e.is_transient() && attempts < max_attempts => continue,
+                                other => break other,
+                            }
+                        };
+                        started[i].store(u64::MAX, Ordering::Relaxed);
+
+                        if let Ok(res) = &mut result {
+                            res.metrics.queue_delay_nanos = queue_delay;
+                        } else if self.fail_fast {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        // Poison recovery: a slot mutex poisoned by a panic
+                        // on another worker still holds writable storage —
+                        // never let one casualty forfeit the grid.
+                        *slots_ref[i]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                            Some(SweepOutcome {
+                                job: job.clone(),
+                                result,
+                                attempts,
+                            });
+                    }
+                    workers_done.fetch_add(1, Ordering::Release);
                 });
             }
         });
 
         slots
             .into_iter()
-            .map(|slot| {
+            .filter_map(|slot| {
                 slot.into_inner()
-                    .unwrap()
-                    .expect("every sweep slot is filled before the scope ends")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
             })
             .collect()
+    }
+
+    /// One attempt at one job: stages the planned fault (if any), then
+    /// runs the simulation under the watchdog controls. Runs inside the
+    /// worker's `catch_unwind`.
+    fn run_once(
+        &self,
+        job: &SweepJob,
+        index: usize,
+        attempt: u32,
+        cancel: &AtomicBool,
+    ) -> Result<SimResult, SimError> {
+        let fault = self.faults.fault_for(index);
+        let label = job.label();
+        match fault {
+            Some(Fault::Panic) => panic!("injected fault: worker panic in {label}"),
+            Some(Fault::TransientPanic { failures }) if attempt <= failures => {
+                panic!("injected fault: transient panic in {label} (attempt {attempt})")
+            }
+            _ => {}
+        }
+
+        let trace = self.traces.get(job.suite, self.scale);
+        // Trace faults re-encode the shared workload, damage the bytes and
+        // decode them again: the decoder's hardening is what must catch
+        // the damage (the shared cache copy is never touched).
+        let damaged = match fault {
+            Some(Fault::CorruptTrace) => {
+                let mut bytes = trace_io::encode_workload(&trace.workload);
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+                Some(bytes)
+            }
+            Some(Fault::TruncateTrace) => {
+                let mut bytes = trace_io::encode_workload(&trace.workload);
+                bytes.truncate(bytes.len().saturating_sub(bytes.len() / 3).max(6));
+                Some(bytes)
+            }
+            _ => None,
+        };
+        let reloaded = match &damaged {
+            Some(bytes) => Some(trace_io::decode_workload(bytes)?),
+            None => None,
+        };
+        let (workload, decoded_storage);
+        let decoded: &DecodedTrace = match &reloaded {
+            Some(wl) => {
+                workload = wl;
+                decoded_storage = DecodedTrace::decode(wl);
+                &decoded_storage
+            }
+            None => {
+                workload = &trace.workload;
+                &trace.decoded
+            }
+        };
+
+        let mut cfg = job.config.clone();
+        let mut max_sim_cycles = self.watchdog.max_sim_cycles;
+        match fault {
+            Some(Fault::Livelock) => max_sim_cycles = Some(1),
+            Some(Fault::AccProtocolFlip { at_event }) => {
+                cfg = cfg.with_checker(CheckerConfig::with_acc_fault(
+                    at_event,
+                    ProtocolFaultKind::LeaseOverrun,
+                ));
+            }
+            Some(Fault::MesiProtocolFlip { at_event }) => {
+                cfg = cfg.with_checker(CheckerConfig::with_mesi_fault(
+                    at_event,
+                    ProtocolFaultKind::WrongOwner,
+                ));
+            }
+            _ => {}
+        }
+
+        let ctl = RunControl {
+            label: &label,
+            max_sim_cycles,
+            cancel: Some(cancel),
+            wall_deadline_ms: self.watchdog.wall_deadline_ms.unwrap_or(0),
+        };
+        run_system_guarded(job.system, workload, decoded, &cfg, &ctl)
+    }
+}
+
+/// Renders a caught panic payload (the `&str` / `String` cases cover
+/// everything `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusion_types::error::TimeoutKind;
 
     #[test]
     fn full_grid_covers_every_pair_in_order() {
@@ -369,12 +654,17 @@ mod tests {
         ];
         let outcomes = Sweep::new(Scale::Tiny).run(jobs);
         assert_eq!(outcomes.len(), 3);
-        assert_eq!(outcomes[0].result.system, "FUSION");
-        assert_eq!(outcomes[1].result.system, "SCRATCH");
-        assert_eq!(outcomes[2].result.system, "SHARED");
-        for o in &outcomes {
-            assert!(o.result.metrics.wall_nanos > 0, "wall time missing");
-            assert!(o.result.metrics.sim_events > 0, "event count missing");
+        let results: Vec<&SimResult> = outcomes
+            .iter()
+            .map(|o| o.result.as_ref().unwrap())
+            .collect();
+        assert_eq!(results[0].system, "FUSION");
+        assert_eq!(results[1].system, "SCRATCH");
+        assert_eq!(results[2].system, "SHARED");
+        for (o, r) in outcomes.iter().zip(&results) {
+            assert_eq!(o.attempts, 1);
+            assert!(r.metrics.wall_nanos > 0, "wall time missing");
+            assert!(r.metrics.sim_events > 0, "event count missing");
         }
     }
 
@@ -389,12 +679,190 @@ mod tests {
         let seq = Sweep::new(Scale::Tiny).threads(1).run(grid());
         let par = Sweep::new(Scale::Tiny).threads(4).run(grid());
         for (s, p) in seq.iter().zip(&par) {
-            assert_eq!(s.result, p.result);
+            assert_eq!(s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
         }
     }
 
     #[test]
     fn empty_grid_is_fine() {
         assert!(Sweep::new(Scale::Tiny).run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_typed() {
+        let jobs = vec![
+            SweepJob::new(SystemKind::Scratch, SuiteId::Adpcm, SystemConfig::small()),
+            SweepJob::new(SystemKind::Shared, SuiteId::Adpcm, SystemConfig::small()),
+            SweepJob::new(SystemKind::Fusion, SuiteId::Adpcm, SystemConfig::small()),
+        ];
+        let plan = FaultPlan::new().inject(1, Fault::Panic);
+        let outcomes = Sweep::new(Scale::Tiny).with_faults(plan).run(jobs);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[2].result.is_ok());
+        match &outcomes[1].result {
+            Err(SimError::JobPanicked { job, message }) => {
+                assert_eq!(job, "ADPCM/SH");
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_panic_recovers_under_retry() {
+        let jobs = vec![SweepJob::new(
+            SystemKind::Fusion,
+            SuiteId::Filter,
+            SystemConfig::small(),
+        )];
+        let plan = FaultPlan::new().inject(0, Fault::TransientPanic { failures: 2 });
+        // Not enough attempts: still a typed panic, attempts recorded.
+        let failed = Sweep::new(Scale::Tiny)
+            .with_faults(plan.clone())
+            .retries(1)
+            .run(jobs.clone());
+        assert_eq!(failed[0].attempts, 2);
+        assert!(matches!(
+            failed[0].result,
+            Err(SimError::JobPanicked { .. })
+        ));
+        // Enough attempts: the job recovers and matches a clean run.
+        let clean = Sweep::new(Scale::Tiny).run(jobs.clone());
+        let recovered = Sweep::new(Scale::Tiny)
+            .with_faults(plan)
+            .retries(2)
+            .run(jobs);
+        assert_eq!(recovered[0].attempts, 3);
+        assert_eq!(
+            recovered[0].result.as_ref().unwrap(),
+            clean[0].result.as_ref().unwrap()
+        );
+    }
+
+    #[test]
+    fn livelock_budget_fires_and_is_not_retried_forever() {
+        let jobs = vec![SweepJob::new(
+            SystemKind::Shared,
+            SuiteId::Fft,
+            SystemConfig::small(),
+        )];
+        let plan = FaultPlan::new().inject(0, Fault::Livelock);
+        let outcomes = Sweep::new(Scale::Tiny)
+            .with_faults(plan)
+            .retries(1)
+            .run(jobs);
+        assert_eq!(outcomes[0].attempts, 2, "transient timeout retried once");
+        match &outcomes[0].result {
+            Err(SimError::Timeout { kind, limit, .. }) => {
+                assert_eq!(*kind, TimeoutKind::SimCycleBudget);
+                assert_eq!(*limit, 1);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_wall_deadline_cancels_every_job_deterministically() {
+        let jobs = vec![
+            SweepJob::new(SystemKind::Scratch, SuiteId::Adpcm, SystemConfig::small()),
+            SweepJob::new(SystemKind::Fusion, SuiteId::Adpcm, SystemConfig::small()),
+        ];
+        let outcomes = Sweep::new(Scale::Tiny)
+            .watchdog(Watchdog {
+                wall_deadline_ms: Some(0),
+                ..Default::default()
+            })
+            .run(jobs);
+        for o in &outcomes {
+            match &o.result {
+                Err(SimError::Timeout { kind, .. }) => {
+                    assert_eq!(*kind, TimeoutKind::WallClock)
+                }
+                other => panic!("expected WallClock timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_faults_map_to_decode_errors() {
+        let jobs = vec![
+            SweepJob::new(SystemKind::Scratch, SuiteId::Filter, SystemConfig::small()),
+            SweepJob::new(SystemKind::Shared, SuiteId::Filter, SystemConfig::small()),
+        ];
+        let plan = FaultPlan::new()
+            .inject(0, Fault::CorruptTrace)
+            .inject(1, Fault::TruncateTrace);
+        let outcomes = Sweep::new(Scale::Tiny).with_faults(plan).run(jobs);
+        for o in &outcomes {
+            assert!(
+                matches!(o.result, Err(SimError::DecodeError { .. })),
+                "{:?}",
+                o.result
+            );
+            assert_eq!(o.attempts, 1, "decode errors are permanent, no retry");
+        }
+    }
+
+    #[test]
+    fn protocol_flips_map_to_invariant_violations() {
+        let jobs = vec![
+            SweepJob::new(SystemKind::Fusion, SuiteId::Fft, SystemConfig::small()),
+            SweepJob::new(SystemKind::Shared, SuiteId::Fft, SystemConfig::small()),
+        ];
+        let plan = FaultPlan::new()
+            .inject(0, Fault::AccProtocolFlip { at_event: 4 })
+            .inject(1, Fault::MesiProtocolFlip { at_event: 4 });
+        let outcomes = Sweep::new(Scale::Tiny).with_faults(plan).run(jobs);
+        match &outcomes[0].result {
+            Err(SimError::InvariantViolation(v)) => assert_eq!(v.protocol, "ACC"),
+            other => panic!("expected ACC violation, got {other:?}"),
+        }
+        match &outcomes[1].result {
+            Err(SimError::InvariantViolation(v)) => assert_eq!(v.protocol, "MESI"),
+            other => panic!("expected MESI violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_fast_truncates_after_first_permanent_failure() {
+        // Sequential worker so the claim order is the grid order: job 0
+        // fails permanently, so under fail-fast nothing after it runs.
+        let jobs: Vec<SweepJob> = (0..6)
+            .map(|_| SweepJob::new(SystemKind::Scratch, SuiteId::Adpcm, SystemConfig::small()))
+            .collect();
+        let plan = FaultPlan::new().inject(0, Fault::CorruptTrace);
+        let outcomes = Sweep::new(Scale::Tiny)
+            .threads(1)
+            .fail_fast(true)
+            .with_faults(plan)
+            .run(jobs);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].result.is_err());
+        let summary = SweepSummary::of(&outcomes);
+        assert_eq!(summary.failed, 1);
+        assert!(!summary.all_ok());
+    }
+
+    #[test]
+    fn faulty_jobs_do_not_disturb_healthy_neighbors() {
+        let jobs = full_grid(&SystemConfig::small());
+        let clean = Sweep::new(Scale::Tiny).run(jobs.clone());
+        let plan = FaultPlan::new()
+            .inject(2, Fault::Panic)
+            .inject(9, Fault::Livelock);
+        let faulty = Sweep::new(Scale::Tiny).with_faults(plan).run(jobs);
+        assert_eq!(clean.len(), faulty.len());
+        for (i, (c, f)) in clean.iter().zip(&faulty).enumerate() {
+            if i == 2 || i == 9 {
+                assert!(f.result.is_err(), "job {i} should have failed");
+            } else {
+                assert_eq!(
+                    c.result.as_ref().unwrap(),
+                    f.result.as_ref().unwrap(),
+                    "job {i} diverged from the fault-free run"
+                );
+            }
+        }
     }
 }

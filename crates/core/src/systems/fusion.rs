@@ -8,6 +8,7 @@ use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_coherence::acc::{AccAccess, AccTile, TileTiming};
 use fusion_coherence::{ForwardRule, TileStats};
 use fusion_energy::{Component, EnergyLedger, EnergyModel};
+use fusion_types::error::SimError;
 use fusion_types::hash::FxHashMap;
 use fusion_types::{
     AccessKind, AxcId, BlockAddr, Cycle, PhysAddr, Pid, SystemConfig, CACHE_BLOCK_BYTES,
@@ -16,6 +17,7 @@ use fusion_vm::{AxRmap, L1xPointer, RmapOutcome};
 
 use crate::host::{HostSide, TileAgent};
 use crate::result::{PhaseResult, SimResult};
+use crate::runner::RunControl;
 use crate::systems::{charge_compute, EnergyMark};
 
 /// The accelerator tile plus its reverse map — the unit that answers
@@ -87,14 +89,43 @@ impl FusionSystem {
     }
 
     /// Runs `workload` to completion.
-    pub fn run(&mut self, workload: &Workload) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] when the opt-in protocol
+    /// checker flags an ACC lease or MESI directory transition.
+    pub fn run(&mut self, workload: &Workload) -> Result<SimResult, SimError> {
         self.run_decoded(workload, &DecodedTrace::decode(workload))
     }
 
     /// Runs `workload` replaying the pre-decoded stream `decoded` (which
     /// must be `DecodedTrace::decode(workload)`; the sweep shares one
     /// decoding across all systems and configurations).
-    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FusionSystem::run`].
+    pub fn run_decoded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+    ) -> Result<SimResult, SimError> {
+        self.run_guarded(workload, decoded, &RunControl::default())
+    }
+
+    /// [`FusionSystem::run_decoded`] with watchdogs: `ctl` is polled at
+    /// every phase boundary (see DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FusionSystem::run`], plus [`SimError::Timeout`] when a
+    /// watchdog in `ctl` fires.
+    pub fn run_guarded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+        ctl: &RunControl<'_>,
+    ) -> Result<SimResult, SimError> {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -121,6 +152,9 @@ impl FusionSystem {
             prefetch_degree: cfg.l1x_prefetch_degree,
         };
         state.tile.set_lease_renewal(cfg.lease_renewal);
+        if cfg.checker.enabled {
+            state.tile.enable_checker(cfg.checker.acc_fault);
+        }
         // FUSION-Dx: forwarding directives grouped by producing phase —
         // a rule is armed only while its producing invocation runs.
         let mut rules_by_phase: HashMap<usize, FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>> =
@@ -229,6 +263,15 @@ impl FusionSystem {
                 memory_energy: mark.memory_since(&ledger),
                 compute_energy: mark.compute_since(&ledger),
             });
+            ctl.check(now.value())?;
+            if cfg.checker.enabled {
+                if let Some(v) = state.tile.checker_violation() {
+                    return Err(v.into());
+                }
+                if let Some(v) = host.checker_violation() {
+                    return Err(v.into());
+                }
+            }
         }
 
         // End of program: flush the tile back to the host's coherence
@@ -240,7 +283,7 @@ impl FusionSystem {
         }
         charge_tile_delta(&mut ledger, &em, &mut stats_mark, state.tile.stats());
 
-        SimResult {
+        Ok(SimResult {
             system: if self.dx { "FUSION-Dx" } else { "FUSION" },
             workload: workload.name.clone(),
             total_cycles: now.value(),
@@ -256,7 +299,7 @@ impl FusionSystem {
             tile: Some(*state.tile.stats()),
             latency,
             metrics: Default::default(),
-        }
+        })
     }
 }
 
@@ -418,7 +461,7 @@ mod tests {
     fn runs_all_tiny_suites() {
         for id in fusion_workloads::all_suites() {
             let wl = build_suite(id, Scale::Tiny);
-            let res = FusionSystem::new(&cfg()).run(&wl);
+            let res = FusionSystem::new(&cfg()).run(&wl).unwrap();
             assert!(res.total_cycles > 0, "{id}");
             let tile = res.tile.expect("fusion reports tile stats");
             assert!(tile.l0_accesses > 0, "{id}");
@@ -430,7 +473,7 @@ mod tests {
         // Lesson 3: the L0X filters ~80 % of accesses for FFT-class
         // locality.
         let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-        let res = FusionSystem::new(&cfg()).run(&wl);
+        let res = FusionSystem::new(&cfg()).run(&wl).unwrap();
         let t = res.tile.unwrap();
         let filtered = 1.0 - (t.msgs_l0_to_l1 as f64 / t.l0_accesses as f64);
         assert!(filtered > 0.6, "L0X filtered only {:.0}%", filtered * 100.0);
@@ -439,8 +482,8 @@ mod tests {
     #[test]
     fn fusion_faster_than_scratch_on_sharing_heavy_suites() {
         let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-        let fu = FusionSystem::new(&cfg()).run(&wl);
-        let sc = ScratchSystem::new(&cfg()).run(&wl);
+        let fu = FusionSystem::new(&cfg()).run(&wl).unwrap();
+        let sc = ScratchSystem::new(&cfg()).run(&wl).unwrap();
         assert!(
             fu.total_cycles < sc.total_cycles,
             "FUSION {} !< SCRATCH {}",
@@ -455,8 +498,8 @@ mod tests {
         // L0X recovers the loss. Small scale — at Tiny the margin is
         // within the fill-latency noise.
         let wl = build_suite(SuiteId::Adpcm, Scale::Small);
-        let fu = FusionSystem::new(&cfg()).run(&wl);
-        let sh = SharedSystem::new(&cfg()).run(&wl);
+        let fu = FusionSystem::new(&cfg()).run(&wl).unwrap();
+        let sh = SharedSystem::new(&cfg()).run(&wl).unwrap();
         assert!(
             fu.total_cycles < sh.total_cycles,
             "FUSION {} !< SHARED {}",
@@ -468,8 +511,8 @@ mod tests {
     #[test]
     fn dx_forwards_blocks_and_saves_link_energy() {
         let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-        let fu = FusionSystem::new(&cfg()).run(&wl);
-        let dx = FusionSystem::new_dx(&cfg()).run(&wl);
+        let fu = FusionSystem::new(&cfg()).run(&wl).unwrap();
+        let dx = FusionSystem::new_dx(&cfg()).run(&wl).unwrap();
         let fwd = dx.tile.unwrap().fwd_l0_to_l0;
         assert!(fwd > 0, "FUSION-Dx forwarded no blocks");
         let fu_link = fu.energy.link_total();
@@ -484,7 +527,7 @@ mod tests {
     fn host_phase_forwards_through_rmap() {
         // TRACK's host phase consumes tile-produced data.
         let wl = build_suite(SuiteId::Tracking, Scale::Tiny);
-        let res = FusionSystem::new(&cfg()).run(&wl);
+        let res = FusionSystem::new(&cfg()).run(&wl).unwrap();
         assert!(res.host_forwards > 0);
         assert!(res.ax_rmap_lookups > 0);
         assert!(res.ax_tlb_lookups > 0);
@@ -494,9 +537,9 @@ mod tests {
     fn write_through_multiplies_link_traffic() {
         // Lesson 5 / Table 4.
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-        let wb = FusionSystem::new(&cfg()).run(&wl);
+        let wb = FusionSystem::new(&cfg()).run(&wl).unwrap();
         let wt_cfg = cfg().with_write_policy(fusion_types::WritePolicy::WriteThrough);
-        let wt = FusionSystem::new(&wt_cfg).run(&wl);
+        let wt = FusionSystem::new(&wt_cfg).run(&wl).unwrap();
         let wb_flits = wb.traffic().flits_axc_l1x.value();
         let wt_flits = wt.traffic().flits_axc_l1x.value();
         assert!(
@@ -510,9 +553,9 @@ mod tests {
         // Extension: the stream prefetcher converts most cold streaming
         // misses into L1X hits at near-perfect accuracy.
         let wl = build_suite(SuiteId::Tracking, Scale::Small);
-        let base = FusionSystem::new(&cfg()).run(&wl);
+        let base = FusionSystem::new(&cfg()).run(&wl).unwrap();
         let pf_cfg = cfg().with_l1x_prefetch(4);
-        let pf = FusionSystem::new(&pf_cfg).run(&wl);
+        let pf = FusionSystem::new(&pf_cfg).run(&wl).unwrap();
         let t = pf.tile.unwrap();
         assert!(
             t.prefetch_installs > 100,
@@ -534,7 +577,7 @@ mod tests {
     #[test]
     fn latency_histogram_covers_all_accelerator_refs() {
         let wl = build_suite(SuiteId::Filter, Scale::Tiny);
-        let res = FusionSystem::new(&cfg()).run(&wl);
+        let res = FusionSystem::new(&cfg()).run(&wl).unwrap();
         let axc_refs: u64 = wl
             .phases
             .iter()
@@ -550,7 +593,7 @@ mod tests {
     #[test]
     fn energy_breakdown_has_expected_components() {
         let wl = build_suite(SuiteId::Disparity, Scale::Tiny);
-        let res = FusionSystem::new(&cfg()).run(&wl);
+        let res = FusionSystem::new(&cfg()).run(&wl).unwrap();
         for c in [
             Component::AxcCache,
             Component::L1x,

@@ -344,7 +344,7 @@ mod tests {
         // A 1-workload multi-tile run reproduces the FUSION system's tile
         // statistics (the host interleaving is degenerate).
         let wl = build_suite(SuiteId::Filter, Scale::Tiny);
-        let single = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let single = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
         let multi = &MultiTileSystem::new(&SystemConfig::small()).run(&[wl])[0];
         let a = single.tile.unwrap();
         let b = multi.tile.unwrap();

@@ -6,10 +6,12 @@ use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_dma::{DmaController, DmaDirection};
 use fusion_energy::{Component, EnergyLedger};
 use fusion_mem::Scratchpad;
+use fusion_types::error::SimError;
 use fusion_types::{Cycle, SystemConfig, CACHE_BLOCK_BYTES};
 
 use crate::host::{HostSide, NoTile};
 use crate::result::{PhaseResult, SimResult};
+use crate::runner::RunControl;
 use crate::systems::{charge_compute, EnergyMark};
 
 /// The SCRATCH baseline (paper Section 2.1): each accelerator owns a 4 KB
@@ -29,14 +31,43 @@ impl ScratchSystem {
     }
 
     /// Runs `workload` to completion.
-    pub fn run(&mut self, workload: &Workload) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] when the opt-in protocol
+    /// checker flags a directory transition.
+    pub fn run(&mut self, workload: &Workload) -> Result<SimResult, SimError> {
         self.run_decoded(workload, &DecodedTrace::decode(workload))
     }
 
     /// Runs `workload` replaying the pre-decoded stream `decoded` (which
     /// must be `DecodedTrace::decode(workload)`; the sweep shares one
     /// decoding across all systems and configurations).
-    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScratchSystem::run`].
+    pub fn run_decoded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+    ) -> Result<SimResult, SimError> {
+        self.run_guarded(workload, decoded, &RunControl::default())
+    }
+
+    /// [`ScratchSystem::run_decoded`] with watchdogs: `ctl` is polled at
+    /// every phase boundary (see DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScratchSystem::run`], plus [`SimError::Timeout`] when a
+    /// watchdog in `ctl` fires.
+    pub fn run_guarded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+        ctl: &RunControl<'_>,
+    ) -> Result<SimResult, SimError> {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -135,9 +166,15 @@ impl ScratchSystem {
                 memory_energy: mark.memory_since(&ledger),
                 compute_energy: mark.compute_since(&ledger),
             });
+            ctl.check(now.value())?;
+            if cfg.checker.enabled {
+                if let Some(v) = host.checker_violation() {
+                    return Err(v.into());
+                }
+            }
         }
 
-        SimResult {
+        Ok(SimResult {
             system: "SCRATCH",
             workload: workload.name.clone(),
             total_cycles: now.value(),
@@ -153,7 +190,7 @@ impl ScratchSystem {
             tile: None,
             latency,
             metrics: Default::default(),
-        }
+        })
     }
 }
 
@@ -178,7 +215,7 @@ mod tests {
     fn adpcm_runs_and_charges_dma() {
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
         let mut sys = ScratchSystem::new(&SystemConfig::small());
-        let res = sys.run(&wl);
+        let res = sys.run(&wl).unwrap();
         assert!(res.total_cycles > 0);
         assert!(res.dma_cycles > 0);
         assert!(res.dma_blocks > 0);
@@ -192,7 +229,7 @@ mod tests {
         // FFT re-streams its working buffer through the scratchpad every
         // stage: DMA dominates (the paper reports 82 % for this class).
         let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl);
+        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         assert!(
             res.dma_time_fraction() > 0.4,
             "FFT DMA fraction {:.2} unexpectedly low",
@@ -203,7 +240,7 @@ mod tests {
     #[test]
     fn scratchpad_accesses_cover_all_refs() {
         let wl = build_suite(SuiteId::Filter, Scale::Tiny);
-        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl);
+        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         let axc_refs: u64 = wl
             .phases
             .iter()
@@ -216,7 +253,7 @@ mod tests {
     #[test]
     fn per_phase_results_cover_program() {
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl);
+        let res = ScratchSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         assert_eq!(res.phases.len(), wl.phases.len());
         let sum: u64 = res.phases.iter().map(|p| p.cycles).sum();
         assert_eq!(sum, res.total_cycles);

@@ -5,10 +5,12 @@ use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_coherence::MesiReq;
 use fusion_energy::{Component, EnergyLedger, EnergyModel};
 use fusion_mem::{BankedTiming, ReplacementPolicy, SetAssocCache};
+use fusion_types::error::SimError;
 use fusion_types::{BlockAddr, Cycle, PhysAddr, Pid, SystemConfig, CACHE_BLOCK_BYTES};
 
 use crate::host::{HostSide, TileAgent};
 use crate::result::{PhaseResult, SimResult};
+use crate::runner::RunControl;
 use crate::systems::{charge_compute, EnergyMark};
 
 /// MESI state of a SHARED L1X line (I is absence).
@@ -67,14 +69,43 @@ impl SharedSystem {
     }
 
     /// Runs `workload` to completion.
-    pub fn run(&mut self, workload: &Workload) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] when the opt-in protocol
+    /// checker flags a directory transition.
+    pub fn run(&mut self, workload: &Workload) -> Result<SimResult, SimError> {
         self.run_decoded(workload, &DecodedTrace::decode(workload))
     }
 
     /// Runs `workload` replaying the pre-decoded stream `decoded` (which
     /// must be `DecodedTrace::decode(workload)`; the sweep shares one
     /// decoding across all systems and configurations).
-    pub fn run_decoded(&mut self, workload: &Workload, decoded: &DecodedTrace) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SharedSystem::run`].
+    pub fn run_decoded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+    ) -> Result<SimResult, SimError> {
+        self.run_guarded(workload, decoded, &RunControl::default())
+    }
+
+    /// [`SharedSystem::run_decoded`] with watchdogs: `ctl` is polled at
+    /// every phase boundary (see DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SharedSystem::run`], plus [`SimError::Timeout`] when a
+    /// watchdog in `ctl` fires.
+    pub fn run_guarded(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+        ctl: &RunControl<'_>,
+    ) -> Result<SimResult, SimError> {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
@@ -233,6 +264,12 @@ impl SharedSystem {
                 memory_energy: mark.memory_since(&ledger),
                 compute_energy: mark.compute_since(&ledger),
             });
+            ctl.check(now.value())?;
+            if cfg.checker.enabled {
+                if let Some(v) = host.checker_violation() {
+                    return Err(v.into());
+                }
+            }
         }
 
         // Final flush: dirty L1X lines write back to the host L2.
@@ -243,7 +280,7 @@ impl SharedSystem {
             host.tile_eviction_phys(pa, e.dirty, &mut ledger);
         }
 
-        SimResult {
+        Ok(SimResult {
             system: "SHARED",
             workload: workload.name.clone(),
             total_cycles: now.value(),
@@ -259,7 +296,7 @@ impl SharedSystem {
             tile: None,
             latency,
             metrics: Default::default(),
-        }
+        })
     }
 }
 
@@ -272,7 +309,7 @@ mod tests {
     #[test]
     fn runs_and_uses_the_l1x() {
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-        let res = SharedSystem::new(&SystemConfig::small()).run(&wl);
+        let res = SharedSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         assert!(res.total_cycles > 0);
         assert!(res.energy.count(Component::L1x) > 0);
         assert_eq!(res.dma_blocks, 0);
@@ -281,7 +318,7 @@ mod tests {
     #[test]
     fn every_axc_access_pays_the_l1x() {
         let wl = build_suite(SuiteId::Filter, Scale::Tiny);
-        let res = SharedSystem::new(&SystemConfig::small()).run(&wl);
+        let res = SharedSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         let axc_refs: u64 = wl
             .phases
             .iter()
@@ -296,8 +333,8 @@ mod tests {
         // Lesson 1: with DMA dominating SCRATCH, SHARED is faster. Needs
         // Small scale — at Tiny the whole FFT fits one scratchpad window.
         let wl = build_suite(SuiteId::Fft, Scale::Small);
-        let sc = ScratchSystem::new(&SystemConfig::small()).run(&wl);
-        let sh = SharedSystem::new(&SystemConfig::small()).run(&wl);
+        let sc = ScratchSystem::new(&SystemConfig::small()).run(&wl).unwrap();
+        let sh = SharedSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         assert!(
             sh.total_cycles < sc.total_cycles,
             "SHARED {} !< SCRATCH {}",
@@ -309,7 +346,7 @@ mod tests {
     #[test]
     fn l1x_filters_l2_for_small_working_sets() {
         let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
-        let res = SharedSystem::new(&SystemConfig::small()).run(&wl);
+        let res = SharedSystem::new(&SystemConfig::small()).run(&wl).unwrap();
         // Blocks fit in the 64 KB L1X: far fewer L2 accesses than refs.
         let refs = wl.total_refs();
         assert!(

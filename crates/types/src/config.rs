@@ -107,6 +107,10 @@ pub struct SystemConfig {
     /// tile fetches this many subsequent blocks in the background,
     /// recovering part of the DMA push advantage on cold streams.
     pub l1x_prefetch_degree: usize,
+    /// Opt-in runtime protocol invariant checking and fault planting (see
+    /// DESIGN.md §10). Off by default; a clean checker-on run produces
+    /// results identical to a checker-off run.
+    pub checker: crate::fault::CheckerConfig,
 }
 
 impl SystemConfig {
@@ -167,6 +171,7 @@ impl SystemConfig {
             control_message_bytes: 8,
             lease_renewal: false,
             l1x_prefetch_degree: 0,
+            checker: crate::fault::CheckerConfig::default(),
         }
     }
 
@@ -196,6 +201,12 @@ impl SystemConfig {
     /// Returns a copy with the L1X sequential prefetcher set to `degree`.
     pub fn with_l1x_prefetch(mut self, degree: usize) -> Self {
         self.l1x_prefetch_degree = degree;
+        self
+    }
+
+    /// Returns a copy with the given runtime protocol-checker setup.
+    pub fn with_checker(mut self, checker: crate::fault::CheckerConfig) -> Self {
+        self.checker = checker;
         self
     }
 }

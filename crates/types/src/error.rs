@@ -1,0 +1,244 @@
+//! Typed simulation errors: the fault taxonomy every layer of the stack
+//! reports through.
+//!
+//! A production-scale sweep cannot afford to die on the first bad job, so
+//! every failure a simulation can hit — a corrupt trace, a protocol
+//! invariant broken at runtime, a panicked worker, a watchdog expiry or a
+//! nonsensical configuration — maps to one [`SimError`] variant. The sweep
+//! layer collects these per job (`fusion_core::sweep`); the `sim` CLI
+//! renders them in its failure report and exits nonzero without discarding
+//! the healthy rows.
+//!
+//! The taxonomy is `std`-only, `Clone` and `PartialEq` so errors can live
+//! inside per-job outcome slots, cross thread boundaries and be compared
+//! for determinism (two runs of the same faulty grid must produce the same
+//! errors).
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime protocol invariant caught by the opt-in checker
+/// ([`crate::fault::CheckerConfig`]): which protocol, which rule, and what
+/// state broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The protocol whose invariant broke (`"ACC"` or `"MESI"`).
+    pub protocol: &'static str,
+    /// The invariant that failed, named after DESIGN.md §10's list.
+    pub rule: &'static str,
+    /// Human-readable description of the offending state.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} invariant '{}' violated: {}",
+            self.protocol, self.rule, self.detail
+        )
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Which watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// The simulated-cycle forward-progress budget was exhausted — the
+    /// replay consumed more simulated time than any healthy run of its
+    /// size plausibly could (the protocol-livelock guard).
+    SimCycleBudget,
+    /// The wall-clock deadline passed and the monitor thread cancelled the
+    /// job at its next phase boundary.
+    WallClock,
+}
+
+impl fmt::Display for TimeoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutKind::SimCycleBudget => write!(f, "simulated-cycle budget"),
+            TimeoutKind::WallClock => write!(f, "wall-clock deadline"),
+        }
+    }
+}
+
+/// Everything that can go wrong while running one simulation job.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_types::error::SimError;
+///
+/// let e = SimError::ConfigError {
+///     detail: "l1x needs at least one bank".into(),
+/// };
+/// assert!(e.to_string().contains("configuration"));
+/// assert!(!e.is_transient());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Workload trace bytes could not be decoded (truncated, corrupt,
+    /// wrong version, or structurally impossible lengths).
+    DecodeError {
+        /// What the decoder tripped over.
+        detail: String,
+    },
+    /// The runtime [`ProtocolChecker`](crate::fault::CheckerConfig) caught
+    /// a coherence-protocol invariant violation.
+    InvariantViolation(InvariantViolation),
+    /// A sweep worker panicked while simulating this job; the panic was
+    /// contained by the job-isolation boundary and converted.
+    JobPanicked {
+        /// Grid label of the job (`"FFT/FU"`-style).
+        job: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A watchdog cut the job short.
+    Timeout {
+        /// Grid label of the job.
+        job: String,
+        /// Which watchdog fired.
+        kind: TimeoutKind,
+        /// The budget that was exhausted (simulated cycles or
+        /// milliseconds, per `kind`).
+        limit: u64,
+    },
+    /// The configuration cannot describe a simulatable machine.
+    ConfigError {
+        /// Which knob is broken and why.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Whether a bounded retry can plausibly succeed: panics and timeouts
+    /// may be environmental (a poisoned slot, an overloaded host), while
+    /// decode, invariant and configuration failures are deterministic
+    /// properties of the inputs and will fail identically every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::JobPanicked { .. } | SimError::Timeout { .. }
+        )
+    }
+
+    /// Short taxonomy label (stable, used by failure reports and tests).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SimError::DecodeError { .. } => "decode",
+            SimError::InvariantViolation(_) => "invariant",
+            SimError::JobPanicked { .. } => "panic",
+            SimError::Timeout { .. } => "timeout",
+            SimError::ConfigError { .. } => "config",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DecodeError { detail } => write!(f, "trace decode failed: {detail}"),
+            SimError::InvariantViolation(v) => write!(f, "{v}"),
+            SimError::JobPanicked { job, message } => {
+                write!(f, "job {job} panicked: {message}")
+            }
+            SimError::Timeout { job, kind, limit } => {
+                write!(f, "job {job} exceeded its {kind} ({limit})")
+            }
+            SimError::ConfigError { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvariantViolation(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> Self {
+        SimError::InvariantViolation(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let v = InvariantViolation {
+            protocol: "ACC",
+            rule: "lease-containment",
+            detail: "lease_end 900 > gtime 100".into(),
+        };
+        let e: SimError = v.clone().into();
+        assert!(e.to_string().contains("lease-containment"));
+        assert!(e.source().is_some());
+        assert_eq!(e.source().unwrap().to_string(), v.to_string());
+        let t = SimError::Timeout {
+            job: "FFT/FU".into(),
+            kind: TimeoutKind::SimCycleBudget,
+            limit: 1000,
+        };
+        assert!(t.to_string().contains("simulated-cycle budget"));
+        assert!(t.source().is_none());
+    }
+
+    #[test]
+    fn transience_partitions_the_taxonomy() {
+        assert!(SimError::JobPanicked {
+            job: "j".into(),
+            message: "m".into()
+        }
+        .is_transient());
+        assert!(SimError::Timeout {
+            job: "j".into(),
+            kind: TimeoutKind::WallClock,
+            limit: 1,
+        }
+        .is_transient());
+        for e in [
+            SimError::DecodeError { detail: "x".into() },
+            SimError::ConfigError { detail: "x".into() },
+            SimError::InvariantViolation(InvariantViolation {
+                protocol: "MESI",
+                rule: "owner",
+                detail: String::new(),
+            }),
+        ] {
+            assert!(!e.is_transient(), "{e}");
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let labels = [
+            SimError::DecodeError { detail: "".into() }.kind_label(),
+            SimError::JobPanicked {
+                job: "".into(),
+                message: "".into(),
+            }
+            .kind_label(),
+            SimError::ConfigError { detail: "".into() }.kind_label(),
+        ];
+        assert_eq!(labels, ["decode", "panic", "config"]);
+    }
+
+    #[test]
+    fn errors_compare_for_determinism() {
+        let a = SimError::DecodeError {
+            detail: "bad magic".into(),
+        };
+        let b = SimError::DecodeError {
+            detail: "bad magic".into(),
+        };
+        assert_eq!(a, b);
+    }
+}

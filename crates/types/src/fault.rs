@@ -1,0 +1,116 @@
+//! Runtime protocol-checker configuration and fault descriptors.
+//!
+//! The checker is the validation half of the fault-tolerance layer: an
+//! opt-in mode ([`CheckerConfig::enabled`]) in which the ACC tile and the
+//! MESI directory re-validate their transition invariants after every
+//! state change and report the first violation as
+//! [`SimError::InvariantViolation`](crate::error::SimError). On the
+//! trusted path (`enabled == false`, the default) the hot loops see a
+//! single predictable branch, so checker-off runs stay byte-identical to
+//! the golden snapshots.
+//!
+//! To prove the checker catches what it claims to catch, a
+//! [`ProtocolFault`] can be planted: at the `at_event`-th checked event the
+//! protocol state is deliberately flipped *before* validation, so a
+//! correct checker must flag it. This is how the fault-injection harness
+//! (`fusion_core::faults`) drives end-to-end `InvariantViolation` tests
+//! without shipping buggy protocol code.
+
+/// What to corrupt when a planted [`ProtocolFault`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFaultKind {
+    /// ACC: extend a live L0 read lease past the backing L1X line's
+    /// global expiry (`lease_end > gtime`), breaking lease containment.
+    LeaseOverrun,
+    /// ACC: rewind a resident L1X line's global lease into the past while
+    /// an L0 lease on it is still live.
+    GtimeRegression,
+    /// MESI: clear the sharer mask of a `Shared` directory entry, leaving
+    /// the illegal `Shared(∅)` state.
+    EmptySharerList,
+    /// MESI: reassign an `Owned` directory entry to a different agent than
+    /// the one the protocol just granted ownership to.
+    WrongOwner,
+}
+
+/// A deliberate, deterministic protocol corruption: at the `at_event`-th
+/// checker-observed event, apply `kind` to live protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolFault {
+    /// Zero-based index of the checked event at which to corrupt state.
+    pub at_event: u64,
+    /// Which corruption to apply.
+    pub kind: ProtocolFaultKind,
+}
+
+/// Opt-in runtime invariant checking, carried on
+/// [`SystemConfig`](crate::config::SystemConfig).
+///
+/// Disabled by default; [`CheckerConfig::default`] is the trusted-path
+/// configuration with no checking and no faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckerConfig {
+    /// Validate ACC and MESI transition invariants at runtime.
+    pub enabled: bool,
+    /// Plant a fault in the ACC lease protocol (requires `enabled`).
+    pub acc_fault: Option<ProtocolFault>,
+    /// Plant a fault in the MESI directory (requires `enabled`).
+    pub mesi_fault: Option<ProtocolFault>,
+}
+
+impl CheckerConfig {
+    /// Checking on, no planted faults: a clean run must still produce
+    /// results identical to a checker-off run.
+    pub fn enabled() -> Self {
+        CheckerConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Checking on with an ACC lease fault planted at `at_event`.
+    pub fn with_acc_fault(at_event: u64, kind: ProtocolFaultKind) -> Self {
+        CheckerConfig {
+            enabled: true,
+            acc_fault: Some(ProtocolFault { at_event, kind }),
+            mesi_fault: None,
+        }
+    }
+
+    /// Checking on with a MESI directory fault planted at `at_event`.
+    pub fn with_mesi_fault(at_event: u64, kind: ProtocolFaultKind) -> Self {
+        CheckerConfig {
+            enabled: true,
+            acc_fault: None,
+            mesi_fault: Some(ProtocolFault { at_event, kind }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_trusted_path() {
+        let c = CheckerConfig::default();
+        assert!(!c.enabled);
+        assert!(c.acc_fault.is_none() && c.mesi_fault.is_none());
+    }
+
+    #[test]
+    fn constructors_enable_checking() {
+        assert!(CheckerConfig::enabled().enabled);
+        let c = CheckerConfig::with_acc_fault(7, ProtocolFaultKind::LeaseOverrun);
+        assert!(c.enabled);
+        assert_eq!(
+            c.acc_fault,
+            Some(ProtocolFault {
+                at_event: 7,
+                kind: ProtocolFaultKind::LeaseOverrun
+            })
+        );
+        let m = CheckerConfig::with_mesi_fault(0, ProtocolFaultKind::WrongOwner);
+        assert!(m.enabled && m.acc_fault.is_none());
+    }
+}

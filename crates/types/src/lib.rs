@@ -19,12 +19,16 @@
 
 pub mod addr;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod ids;
 pub mod units;
 
 pub use addr::{BlockAddr, PhysAddr, VirtAddr, CACHE_BLOCK_BYTES, PAGE_BYTES};
 pub use config::{CacheGeometry, LinkConfig, SystemConfig, WritePolicy};
+pub use error::{InvariantViolation, SimError, TimeoutKind};
+pub use fault::{CheckerConfig, ProtocolFault, ProtocolFaultKind};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AxcId, Pid};
 pub use units::{Bytes, Cycle, Flits, PicoJoules, FLIT_BYTES};

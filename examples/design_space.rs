@@ -39,7 +39,7 @@ fn main() {
                 cfg.scratchpad.capacity_bytes = l0_kb * 1024;
                 cfg.l1x.capacity_bytes = l1_kb * 1024;
                 cfg.write_policy = policy;
-                let res = run_system(SystemKind::Fusion, &workload, &cfg);
+                let res = run_system(SystemKind::Fusion, &workload, &cfg).unwrap();
                 let tile = res.tile.expect("fusion tile stats");
                 println!(
                     "{:>4}KB {:>5}KB {:>12} {:>10} {:>12.0} {:>10.1}",

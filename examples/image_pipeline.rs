@@ -35,7 +35,7 @@ fn main() {
         SystemKind::Fusion,
         SystemKind::FusionDx,
     ] {
-        let res = run_system(kind, &workload, &Default::default());
+        let res = run_system(kind, &workload, &Default::default()).unwrap();
         let l2_and_link = res.energy.energy(Component::L2)
             + res.energy.energy(Component::LinkL1xL2Msg)
             + res.energy.energy(Component::LinkL1xL2Data);

@@ -41,12 +41,13 @@ fn main() {
         for p in &mut wl.phases {
             p.lease = lease;
         }
-        let plain = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let plain = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
         let renew = run_system(
             SystemKind::Fusion,
             &wl,
             &SystemConfig::small().with_lease_renewal(true),
-        );
+        )
+        .unwrap();
         let t = plain.tile.expect("tile stats");
         let tr = renew.tile.expect("tile stats");
         println!(

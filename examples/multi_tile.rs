@@ -19,8 +19,8 @@ fn main() {
     let b = build_suite(SuiteId::Filter, Scale::Small);
 
     // Solo runs for reference.
-    let solo_a = run_system(SystemKind::Fusion, &a, &Default::default());
-    let solo_b = run_system(SystemKind::Fusion, &b, &Default::default());
+    let solo_a = run_system(SystemKind::Fusion, &a, &Default::default()).unwrap();
+    let solo_b = run_system(SystemKind::Fusion, &b, &Default::default()).unwrap();
 
     // Co-scheduled on two tiles.
     let results = MultiTileSystem::new(&Default::default()).run(&[a, b]);

@@ -22,7 +22,7 @@ fn main() {
     );
 
     // Run it on the FUSION coherent cache hierarchy.
-    let res = run_system(SystemKind::Fusion, &workload, &Default::default());
+    let res = run_system(SystemKind::Fusion, &workload, &Default::default()).unwrap();
     println!(
         "\nFUSION: {} cycles, {} cache-hierarchy energy",
         res.total_cycles,
@@ -38,7 +38,7 @@ fn main() {
     println!("\nenergy breakdown:\n{}", res.energy);
 
     // And compare with the scratchpad + oracle-DMA baseline.
-    let sc = run_system(SystemKind::Scratch, &workload, &Default::default());
+    let sc = run_system(SystemKind::Scratch, &workload, &Default::default()).unwrap();
     println!(
         "SCRATCH: {} cycles ({:.0}% in DMA transfers), {} cache-hierarchy energy",
         sc.total_cycles,

@@ -18,7 +18,7 @@
 //! use fusion_repro::workloads::suite;
 //!
 //! let wl = suite::build_suite(suite::SuiteId::Adpcm, suite::Scale::Tiny);
-//! let res = run_system(SystemKind::Fusion, &wl, &Default::default());
+//! let res = run_system(SystemKind::Fusion, &wl, &Default::default()).unwrap();
 //! assert!(res.total_cycles > 0);
 //! ```
 

@@ -18,7 +18,7 @@ fn every_system_completes_every_suite() {
     for id in all_suites() {
         let wl = build_suite(id, Scale::Tiny);
         for kind in ALL_SYSTEMS {
-            let res = run_system(kind, &wl, &SystemConfig::small());
+            let res = run_system(kind, &wl, &SystemConfig::small()).unwrap();
             assert!(res.total_cycles > 0, "{id}/{kind}: zero cycles");
             assert!(res.cache_energy().value() > 0.0, "{id}/{kind}: zero energy");
             assert_eq!(res.phases.len(), wl.phases.len(), "{id}/{kind}");
@@ -31,7 +31,7 @@ fn phase_cycles_partition_total() {
     for id in all_suites() {
         let wl = build_suite(id, Scale::Tiny);
         for kind in ALL_SYSTEMS {
-            let res = run_system(kind, &wl, &SystemConfig::small());
+            let res = run_system(kind, &wl, &SystemConfig::small()).unwrap();
             let sum: u64 = res.phases.iter().map(|p| p.cycles).sum();
             assert_eq!(
                 sum, res.total_cycles,
@@ -45,8 +45,8 @@ fn phase_cycles_partition_total() {
 fn simulations_are_deterministic() {
     for kind in ALL_SYSTEMS {
         let wl = build_suite(SuiteId::Susan, Scale::Tiny);
-        let a = run_system(kind, &wl, &SystemConfig::small());
-        let b = run_system(kind, &wl, &SystemConfig::small());
+        let a = run_system(kind, &wl, &SystemConfig::small()).unwrap();
+        let b = run_system(kind, &wl, &SystemConfig::small()).unwrap();
         assert_eq!(a.total_cycles, b.total_cycles, "{kind}");
         assert_eq!(a.energy, b.energy, "{kind}");
         assert_eq!(a.tile, b.tile, "{kind}");
@@ -68,10 +68,12 @@ fn compute_energy_is_system_independent() {
     // memory system differs.
     let wl = build_suite(SuiteId::Filter, Scale::Tiny);
     let reference = run_system(SystemKind::Scratch, &wl, &SystemConfig::small())
+        .unwrap()
         .energy
         .energy(Component::Compute);
     for kind in ALL_SYSTEMS {
         let e = run_system(kind, &wl, &SystemConfig::small())
+            .unwrap()
             .energy
             .energy(Component::Compute);
         assert_eq!(e, reference, "{kind}: compute energy diverged");
@@ -90,6 +92,7 @@ fn memory_cold_misses_are_equal_across_systems() {
         .iter()
         .map(|&k| {
             run_system(k, &wl, &SystemConfig::small())
+                .unwrap()
                 .energy
                 .count(Component::Memory)
         })
@@ -106,7 +109,7 @@ fn memory_cold_misses_are_equal_across_systems() {
 fn only_scratch_uses_dma_and_only_fusion_uses_the_tile() {
     let wl = build_suite(SuiteId::Fft, Scale::Tiny);
     for kind in ALL_SYSTEMS {
-        let res = run_system(kind, &wl, &SystemConfig::small());
+        let res = run_system(kind, &wl, &SystemConfig::small()).unwrap();
         match kind {
             SystemKind::Scratch => {
                 assert!(res.dma_blocks > 0);
@@ -128,8 +131,8 @@ fn only_scratch_uses_dma_and_only_fusion_uses_the_tile() {
 #[test]
 fn fusion_dx_forwards_only_when_enabled() {
     let wl = build_suite(SuiteId::Fft, Scale::Tiny);
-    let fu = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
-    let dx = run_system(SystemKind::FusionDx, &wl, &SystemConfig::small());
+    let fu = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
+    let dx = run_system(SystemKind::FusionDx, &wl, &SystemConfig::small()).unwrap();
     assert_eq!(fu.tile.unwrap().fwd_l0_to_l0, 0);
     assert!(dx.tile.unwrap().fwd_l0_to_l0 > 0);
     assert_eq!(fu.energy.count(Component::LinkL0xFwd), 0);
@@ -139,7 +142,7 @@ fn fusion_dx_forwards_only_when_enabled() {
 fn large_config_runs_all_suites() {
     for id in all_suites() {
         let wl = build_suite(id, Scale::Tiny);
-        let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::large());
+        let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::large()).unwrap();
         assert!(res.total_cycles > 0, "{id} at LARGE config");
     }
 }
@@ -150,7 +153,7 @@ fn host_phases_cost_host_l1_energy() {
     // host L1, not the tile.
     for id in all_suites() {
         let wl = build_suite(id, Scale::Tiny);
-        let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let res = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
         assert!(
             res.energy.count(Component::HostL1) > 0,
             "{id}: host phase produced no host-L1 accesses"

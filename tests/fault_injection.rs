@@ -1,0 +1,130 @@
+//! End-to-end fault injection over the full evaluation grid: the sweep
+//! engine's central robustness guarantee (DESIGN.md §10).
+//!
+//! A 4-system × 7-suite sweep with planted worker panics, trace
+//! corruption and livelocks must (1) complete every healthy job with
+//! results identical to a fault-free sweep, (2) report every planted
+//! fault as the right typed [`SimError`], and (3) behave identically on
+//! two runs with the same seed — faults never leak across job isolation
+//! boundaries and never introduce nondeterminism.
+
+use fusion_core::{full_grid, Fault, FaultPlan, Sweep, SweepOutcome, SweepSummary};
+use fusion_types::error::{SimError, TimeoutKind};
+use fusion_types::SystemConfig;
+use fusion_workloads::Scale;
+
+const GRID: usize = 28;
+
+fn run_with(plan: FaultPlan, retries: u32) -> Vec<SweepOutcome> {
+    Sweep::new(Scale::Tiny)
+        .retries(retries)
+        .with_faults(plan)
+        .run(full_grid(&SystemConfig::small()))
+}
+
+#[test]
+fn planted_faults_do_not_disturb_healthy_jobs() {
+    let clean = Sweep::new(Scale::Tiny).run(full_grid(&SystemConfig::small()));
+    assert_eq!(clean.len(), GRID);
+    assert!(clean.iter().all(|o| o.result.is_ok()), "clean grid failed");
+
+    // Four faults across the grid: one panic, one corrupt trace, one
+    // livelock, one truncation — the acceptance scenario (>= 3 faults).
+    let plan = FaultPlan::new()
+        .inject(2, Fault::Panic)
+        .inject(9, Fault::CorruptTrace)
+        .inject(17, Fault::Livelock)
+        .inject(25, Fault::TruncateTrace);
+    let faulty = run_with(plan.clone(), 0);
+    assert_eq!(faulty.len(), GRID);
+
+    for (i, (f, c)) in faulty.iter().zip(&clean).enumerate() {
+        if plan.fault_for(i).is_some() {
+            assert!(f.result.is_err(), "job {i} should have failed");
+        } else {
+            // Healthy neighbors are byte-identical to the fault-free run
+            // (SimResult equality covers every simulated statistic).
+            assert_eq!(
+                f.result.as_ref().unwrap(),
+                c.result.as_ref().unwrap(),
+                "fault leaked into healthy job {i} ({})",
+                f.job.label()
+            );
+        }
+    }
+
+    let summary = SweepSummary::of(&faulty);
+    assert_eq!(summary.completed, GRID - 4);
+    assert_eq!(summary.failed, 4);
+    assert!(!summary.all_ok());
+}
+
+#[test]
+fn every_planted_fault_surfaces_as_its_typed_error() {
+    let plan = FaultPlan::new()
+        .inject(2, Fault::Panic)
+        .inject(9, Fault::CorruptTrace)
+        .inject(17, Fault::Livelock)
+        .inject(25, Fault::TruncateTrace);
+    let outcomes = run_with(plan, 0);
+
+    match &outcomes[2].result {
+        Err(SimError::JobPanicked { job, .. }) => assert_eq!(*job, outcomes[2].job.label()),
+        other => panic!("job 2: expected JobPanicked, got {other:?}"),
+    }
+    for i in [9, 25] {
+        match &outcomes[i].result {
+            Err(SimError::DecodeError { .. }) => {}
+            other => panic!("job {i}: expected DecodeError, got {other:?}"),
+        }
+        // Trace damage is deterministic, so it must not have been retried.
+        assert_eq!(outcomes[i].attempts, 1, "job {i} wasted retries");
+    }
+    match &outcomes[17].result {
+        Err(SimError::Timeout { kind, .. }) => assert_eq!(*kind, TimeoutKind::SimCycleBudget),
+        other => panic!("job 17: expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_seed_sweeps_fail_identically() {
+    let plan = FaultPlan::seeded(0xFA57, GRID, 4);
+    assert_eq!(plan.len(), 4);
+    assert_eq!(plan, FaultPlan::seeded(0xFA57, GRID, 4));
+
+    let a = run_with(plan.clone(), 1);
+    let b = run_with(plan, 1);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.job.label(), y.job.label());
+        assert_eq!(
+            x.result,
+            y.result,
+            "{}: same-seed runs diverged",
+            x.job.label()
+        );
+        assert_eq!(
+            x.attempts,
+            y.attempts,
+            "{}: retry counts diverged",
+            x.job.label()
+        );
+    }
+}
+
+#[test]
+fn transient_faults_recover_under_retry_with_clean_results() {
+    let clean = Sweep::new(Scale::Tiny).run(full_grid(&SystemConfig::small()));
+    let plan = FaultPlan::new().inject(5, Fault::TransientPanic { failures: 1 });
+    let retried = run_with(plan, 1);
+
+    assert_eq!(retried[5].attempts, 2, "first attempt panics, second runs");
+    // The recovered result is indistinguishable from a never-faulted run.
+    assert_eq!(
+        retried[5].result.as_ref().unwrap(),
+        clean[5].result.as_ref().unwrap()
+    );
+    let summary = SweepSummary::of(&retried);
+    assert!(summary.all_ok());
+    assert_eq!(summary.retried, 1);
+}

@@ -76,7 +76,7 @@ fn every_golden_snapshot_reproduces_byte_for_byte() {
     let cfg = SystemConfig::small();
     for (suite_name, suite, sys_name, kind, golden) in CASES {
         let wl = build_suite(suite, Scale::Small);
-        let res = run_system(kind, &wl, &cfg);
+        let res = run_system(kind, &wl, &cfg).unwrap();
         // Snapshots were written via shell redirection and carry a
         // trailing newline; the JSON bytes themselves must match exactly.
         assert_eq!(

@@ -12,7 +12,7 @@ use fusion_repro::types::{SystemConfig, WritePolicy};
 use fusion_repro::workloads::{build_suite, Scale, SuiteId};
 
 fn run(kind: SystemKind, id: SuiteId) -> SimResult {
-    run_system(kind, &build_suite(id, Scale::Small), &SystemConfig::small())
+    run_system(kind, &build_suite(id, Scale::Small), &SystemConfig::small()).unwrap()
 }
 
 #[test]
@@ -129,12 +129,13 @@ fn lesson5_write_through_is_expensive() {
     // Table 4: write-through multiplies AXC-L1X bandwidth.
     for id in [SuiteId::Adpcm, SuiteId::Histogram] {
         let wl = build_suite(id, Scale::Small);
-        let wb = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+        let wb = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
         let wt = run_system(
             SystemKind::Fusion,
             &wl,
             &SystemConfig::small().with_write_policy(WritePolicy::WriteThrough),
-        );
+        )
+        .unwrap();
         let wb_flits = wb.traffic().flits_axc_l1x.value();
         let wt_flits = wt.traffic().flits_axc_l1x.value();
         assert!(
@@ -172,8 +173,8 @@ fn lesson7_larger_caches_are_not_better_for_small_working_sets() {
     // configuration's higher access energy for nothing.
     for id in [SuiteId::Adpcm, SuiteId::Susan, SuiteId::Filter] {
         let wl = build_suite(id, Scale::Small);
-        let small = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
-        let large = run_system(SystemKind::Fusion, &wl, &SystemConfig::large());
+        let small = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
+        let large = run_system(SystemKind::Fusion, &wl, &SystemConfig::large()).unwrap();
         assert!(
             large.cache_energy() > small.cache_energy(),
             "{id}: LARGE config should cost more energy ({} vs {})",

@@ -34,7 +34,7 @@ fn inclusive_l2_recalls_do_not_break_any_system() {
             SystemKind::Fusion,
             SystemKind::FusionDx,
         ] {
-            let res = run_system(kind, &wl, &tiny_l2_config());
+            let res = run_system(kind, &wl, &tiny_l2_config()).unwrap();
             assert!(res.total_cycles > 0, "{id}/{kind} under a tiny L2");
         }
     }
@@ -43,8 +43,8 @@ fn inclusive_l2_recalls_do_not_break_any_system() {
 #[test]
 fn tiny_l2_costs_more_memory_traffic() {
     let wl = build_suite(SuiteId::Histogram, Scale::Tiny);
-    let big = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
-    let tiny = run_system(SystemKind::Fusion, &wl, &tiny_l2_config());
+    let big = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
+    let tiny = run_system(SystemKind::Fusion, &wl, &tiny_l2_config()).unwrap();
     assert!(
         tiny.energy.count(fusion_repro::energy::Component::Memory)
             > big.energy.count(fusion_repro::energy::Component::Memory),
@@ -65,8 +65,8 @@ fn replayed_traces_simulate_identically() {
         write_workload(&wl, &mut file).unwrap();
         let replayed = read_workload(file.as_slice()).unwrap();
         assert_eq!(wl, replayed, "{id}: lossy trace roundtrip");
-        let a = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
-        let b = run_system(SystemKind::Fusion, &replayed, &SystemConfig::small());
+        let a = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
+        let b = run_system(SystemKind::Fusion, &replayed, &SystemConfig::small()).unwrap();
         assert_eq!(a.total_cycles, b.total_cycles, "{id}");
         assert_eq!(a.energy, b.energy, "{id}");
     }
@@ -78,11 +78,11 @@ fn prefetch_and_renewal_compose() {
     // accounting, and no slower than the plain configuration on a
     // streaming suite.
     let wl = build_suite(SuiteId::Tracking, Scale::Tiny);
-    let plain = run_system(SystemKind::Fusion, &wl, &SystemConfig::small());
+    let plain = run_system(SystemKind::Fusion, &wl, &SystemConfig::small()).unwrap();
     let cfg = SystemConfig::small()
         .with_lease_renewal(true)
         .with_l1x_prefetch(4);
-    let both = run_system(SystemKind::Fusion, &wl, &cfg);
+    let both = run_system(SystemKind::Fusion, &wl, &cfg).unwrap();
     assert!(both.total_cycles <= plain.total_cycles);
     let t = both.tile.unwrap();
     assert_eq!(t.l0_hits + t.l0_misses, t.l0_accesses);
@@ -117,5 +117,55 @@ fn decoder_survives_corruption() {
                 assert!(p.mlp >= 1);
             }
         }
+    }
+}
+
+/// FNV-1a matching the trace format's trailing checksum, so fuzzed
+/// structural damage reaches the parser instead of dying at the
+/// checksum gate.
+fn reseal(bytes: &mut [u8]) {
+    let n = bytes.len() - 8;
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in &bytes[6..n] {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    bytes[n..].copy_from_slice(&h.to_le_bytes());
+}
+
+/// Corruption with a *valid* checksum — the adversarial case for the
+/// parser's own bounds checks (length-field overflow, truncated strings,
+/// out-of-range sizes). Every outcome must be a clean `Result`, never a
+/// panic or a runaway allocation.
+#[test]
+fn decoder_survives_resealed_structural_corruption() {
+    let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
+    let pristine = encode_workload(&wl);
+    let mut rng = Rng::new(0x5EA1);
+    for _ in 0..256 {
+        let mut bytes = pristine.clone();
+        // Damage the payload (past magic+version, before the checksum)
+        // and recompute the seal so the parser sees the damage.
+        let i = rng.range_usize(6, bytes.len() - 8);
+        bytes[i] ^= 1 << rng.range_u8(0, 8);
+        reseal(&mut bytes);
+        if let Ok(decoded) = decode_workload(&bytes) {
+            for p in &decoded.phases {
+                assert!(p.mlp >= 1);
+                assert!(p.refs.iter().all(|r| r.size >= 1));
+            }
+        }
+    }
+    // Resealed truncation: cut the payload short and seal what remains
+    // (strictly inside the payload, so the result is genuinely damaged).
+    for _ in 0..64 {
+        let keep = rng.range_usize(14, pristine.len() - 8);
+        let mut bytes = pristine[..keep].to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        reseal(&mut bytes);
+        assert!(
+            decode_workload(&bytes).is_err(),
+            "truncated-to-{keep} trace was accepted"
+        );
     }
 }
