@@ -93,18 +93,21 @@ impl GetLe for &[u8] {
     }
     fn get_u16_le(&mut self) -> u16 {
         let (head, rest) = self.split_at(2);
+        // lint:allow-unwrap — split_at(2) guarantees the exact slice length
         let v = u16::from_le_bytes(head.try_into().unwrap());
         *self = rest;
         v
     }
     fn get_u32_le(&mut self) -> u32 {
         let (head, rest) = self.split_at(4);
+        // lint:allow-unwrap — split_at(4) guarantees the exact slice length
         let v = u32::from_le_bytes(head.try_into().unwrap());
         *self = rest;
         v
     }
     fn get_u64_le(&mut self) -> u64 {
         let (head, rest) = self.split_at(8);
+        // lint:allow-unwrap — split_at(8) guarantees the exact slice length
         let v = u64::from_le_bytes(head.try_into().unwrap());
         *self = rest;
         v

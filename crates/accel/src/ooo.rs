@@ -156,6 +156,7 @@ pub fn run_host_phase_indexed(
             let head_done = rob
                 .front()
                 .map(|&(d, _)| d)
+                // lint:allow-unwrap — guarded by the rob.len() == depth check
                 .expect("full implies non-empty");
             let wait_to = head_done.max(now + 1);
             stall_cycles += wait_to - now;

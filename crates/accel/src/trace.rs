@@ -255,6 +255,7 @@ impl DecodedTrace {
 
     /// Summed op counts of the whole workload.
     pub fn total_ops(&self) -> OpCounts {
+        // lint:allow-unwrap — the constructor seeds op_prefix with a zero row
         *self.op_prefix.last().expect("op_prefix is never empty")
     }
 }

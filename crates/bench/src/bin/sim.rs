@@ -8,6 +8,9 @@
 //! sim replay  --system <...> --trace <file> [--json] [config flags]
 //! sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]
 //! sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]
+//! sim verify  [--protocol acc|acc-dx|acc-renew|mesi|all] [--agents <N>] [--blocks <N>]
+//!             [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]
+//!             [--max-states <N>] [--json]
 //! ```
 //!
 //! `trace` materializes a workload into a compact binary file (the paper's
@@ -22,6 +25,12 @@
 //! errors. The robustness flags — `--retries <N>`, `--fail-fast`,
 //! `--budget <cycles>`, `--deadline-ms <N>` and `--inject <seed:count>` —
 //! map onto the fault-tolerant sweep engine of DESIGN.md §10.
+//!
+//! `verify` runs the exhaustive protocol model checker of DESIGN.md §11
+//! over the pure transition functions the simulator itself executes. It
+//! exits 0 when the outcome matches expectation — clean by default, or a
+//! counterexample found when `--expect-violation` is given — and 1
+//! otherwise (including an exploration truncated by `--max-states`).
 
 use std::process::ExitCode;
 
@@ -32,6 +41,7 @@ use fusion_core::{
 };
 use fusion_energy::Component;
 use fusion_types::{SystemConfig, WritePolicy};
+use fusion_verify::{fault_matches_protocol, parse_fault, VerifyProtocol, VerifySpec};
 use fusion_workloads::{build_suite, Scale, SuiteId};
 
 const USAGE: &str = "usage:\n  \
@@ -42,14 +52,19 @@ sim trace   --suite <...> [--scale ...] --out <file>\n  \
 sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n              \
 [--lease-renewal] [--prefetch <N>]\n  \
 sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]\n  \
-sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]\n\n\
+sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]\n  \
+sim verify  [--protocol <acc|acc-dx|acc-renew|mesi|all>] [--agents <N>] [--blocks <N>]\n              \
+[--horizon <N>] [--fault <kind>@<event>] [--expect-violation]\n              \
+[--max-states <N>] [--json]\n\n\
+verify fault kinds: lease-overrun, gtime-regression (ACC);\n  \
+empty-sharers, wrong-owner (MESI)\n\n\
 robustness flags (compare/sweep):\n  \
 --retries <N>         retry panicked/timed-out jobs up to N extra times\n  \
 --fail-fast           stop claiming new jobs after the first permanent failure\n  \
 --budget <cycles>     per-job simulated-cycle budget (livelock watchdog)\n  \
 --deadline-ms <N>     per-job wall-clock deadline in milliseconds\n  \
 --inject <seed:count> deterministically inject <count> faults (testing)\n\n\
-exit codes: 0 success, 1 runtime/sweep failure, 2 usage error";
+exit codes: 0 success, 1 runtime/sweep/verification failure, 2 usage error";
 
 /// Usage errors exit 2, distinguishing bad invocations from jobs that
 /// failed at runtime (exit 1).
@@ -68,15 +83,16 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 /// Options that stand alone (no value follows).
-const FLAG_KEYS: [&str; 5] = [
+const FLAG_KEYS: [&str; 6] = [
     "json",
     "large",
     "write-through",
     "lease-renewal",
     "fail-fast",
+    "expect-violation",
 ];
 /// Options that consume the next argument as their value.
-const VALUE_KEYS: [&str; 11] = [
+const VALUE_KEYS: [&str; 17] = [
     "system",
     "suite",
     "scale",
@@ -88,6 +104,12 @@ const VALUE_KEYS: [&str; 11] = [
     "budget",
     "deadline-ms",
     "inject",
+    "protocol",
+    "agents",
+    "blocks",
+    "horizon",
+    "fault",
+    "max-states",
 ];
 
 #[derive(Debug)]
@@ -459,6 +481,71 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     Ok(report_failures(&outcomes, expected))
 }
 
+/// Builds the [`VerifySpec`] for `sim verify` from the CLI arguments.
+/// Absent options stay `None` so the per-protocol defaults apply. A
+/// fault kind that cannot fire in the selected protocol (e.g. a MESI
+/// directory fault against `--protocol acc`) is a usage error, not a
+/// silently-clean run.
+fn verify_spec_from(args: &Args) -> Result<VerifySpec, String> {
+    let mut spec = VerifySpec::default();
+    if let Some(p) = args.get("protocol") {
+        spec.protocol = VerifyProtocol::parse(p).ok_or_else(|| {
+            format!("--protocol expects acc|acc-dx|acc-renew|mesi|all, got '{p}'")
+        })?;
+    }
+    spec.agents = args.numeric("agents")?;
+    spec.blocks = args.numeric("blocks")?;
+    spec.horizon = args.numeric("horizon")?.map(|n| n as u64);
+    if let Some(n) = args.numeric("max-states")? {
+        spec.max_states = n;
+    }
+    if let Some(f) = args.get("fault") {
+        let fault = parse_fault(f).ok_or_else(|| {
+            format!("--fault expects '<kind>@<event>' with kind one of lease-overrun, gtime-regression, empty-sharers, wrong-owner, got '{f}'")
+        })?;
+        if spec.protocol != VerifyProtocol::All
+            && !fault_matches_protocol(fault.kind, spec.protocol)
+        {
+            return Err(format!(
+                "--fault {f} cannot fire in --protocol {}",
+                args.get("protocol").unwrap_or("all")
+            ));
+        }
+        spec.fault = Some(fault);
+    }
+    Ok(spec)
+}
+
+/// `verify`: exhaustive model check of the protocol transition
+/// functions. Returns `true` when the outcome matches expectation:
+/// every explored space closed, and a counterexample was found exactly
+/// when `--expect-violation` asked for one.
+fn verify_cmd(args: &Args) -> Result<bool, String> {
+    let spec = verify_spec_from(args)?;
+    let report = fusion_verify::run(&spec);
+    if args.flag("json") {
+        println!("{}", fusion_verify::render_json(&report));
+    } else {
+        print!("{}", fusion_verify::render_text(&report));
+    }
+    let complete = report.protocols.iter().all(|p| p.exploration.complete);
+    let ok = if args.flag("expect-violation") {
+        report.violated()
+    } else {
+        complete && !report.violated()
+    };
+    if !ok {
+        if !complete && !report.violated() {
+            eprintln!("verify: exploration truncated by --max-states before closing");
+        } else if args.flag("expect-violation") {
+            eprintln!("verify: expected a counterexample, but every protocol verified clean");
+        } else {
+            eprintln!("verify: protocol violation found");
+        }
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -537,6 +624,11 @@ fn main() -> ExitCode {
                 Ok(true) => {}
             }
         }
+        "verify" => match verify_cmd(&args) {
+            Err(e) => return usage_error(&e),
+            Ok(false) => return ExitCode::from(EXIT_RUNTIME),
+            Ok(true) => {}
+        },
         "replay" => {
             let (Some(system), Some(path)) =
                 (args.get("system").and_then(parse_system), args.get("trace"))
@@ -670,6 +762,52 @@ mod tests {
     }
 
     #[test]
+    fn verify_spec_maps_absent_options_to_defaults() {
+        let args = Args::parse(&argv(&[])).unwrap();
+        let spec = verify_spec_from(&args).unwrap();
+        assert_eq!(spec.protocol, VerifyProtocol::All);
+        assert_eq!(spec.agents, None);
+        assert_eq!(spec.blocks, None);
+        assert_eq!(spec.horizon, None);
+        assert!(spec.fault.is_none());
+
+        let args = Args::parse(&argv(&[
+            "--protocol",
+            "acc-renew",
+            "--blocks",
+            "1",
+            "--horizon",
+            "4",
+            "--max-states",
+            "1000",
+        ]))
+        .unwrap();
+        let spec = verify_spec_from(&args).unwrap();
+        assert_eq!(spec.protocol, VerifyProtocol::AccRenew);
+        assert_eq!(spec.blocks, Some(1));
+        assert_eq!(spec.horizon, Some(4));
+        assert_eq!(spec.max_states, 1000);
+    }
+
+    #[test]
+    fn verify_spec_rejects_bad_protocol_and_mismatched_fault() {
+        let args = Args::parse(&argv(&["--protocol", "moesi"])).unwrap();
+        assert!(verify_spec_from(&args).unwrap_err().contains("--protocol"));
+
+        let args = Args::parse(&argv(&["--fault", "lease-overrun"])).unwrap();
+        assert!(verify_spec_from(&args).unwrap_err().contains("--fault"));
+
+        // A MESI directory fault can never fire in an ACC-only run.
+        let args = Args::parse(&argv(&["--protocol", "acc", "--fault", "wrong-owner@0"])).unwrap();
+        let err = verify_spec_from(&args).unwrap_err();
+        assert!(err.contains("cannot fire"), "{err}");
+
+        // Against `all` the same fault is fine: it applies to the MESI leg.
+        let args = Args::parse(&argv(&["--fault", "wrong-owner@0"])).unwrap();
+        assert!(verify_spec_from(&args).unwrap().fault.is_some());
+    }
+
+    #[test]
     fn json_escape_handles_quotes_and_control_chars() {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
@@ -685,6 +823,7 @@ mod tests {
             "replay",
             "compare",
             "sweep",
+            "verify",
             "--prefetch",
             "--threads",
             "--json",
@@ -693,6 +832,13 @@ mod tests {
             "--budget",
             "--deadline-ms",
             "--inject",
+            "--protocol",
+            "--agents",
+            "--blocks",
+            "--horizon",
+            "--fault",
+            "--expect-violation",
+            "--max-states",
             "exit codes",
         ] {
             assert!(USAGE.contains(needle), "usage text missing '{needle}'");

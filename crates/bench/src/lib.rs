@@ -6,7 +6,6 @@
 //! `render_*` function returning the formatted text so both entry points
 //! (and the integration tests) share the exact same computation.
 
-use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -14,6 +13,7 @@ use fusion_accel::analysis::{self, dma_windows, forward_pairs};
 use fusion_accel::Workload;
 use fusion_core::{SimResult, Sweep, SweepJob, SystemKind, TraceCache};
 use fusion_energy::Component;
+use fusion_types::hash::FxHashSet;
 use fusion_types::{SystemConfig, WritePolicy, CACHE_BLOCK_BYTES, FLIT_BYTES};
 use fusion_workloads::{all_suites, Scale, SuiteId};
 
@@ -120,8 +120,10 @@ impl SuiteRun {
 /// Fraction of a workload's touched blocks that are written (Table 4's
 /// "% Dirty Blocks").
 pub fn dirty_block_fraction(wl: &Workload) -> f64 {
-    let mut touched: HashSet<u64> = HashSet::new();
-    let mut dirty: HashSet<u64> = HashSet::new();
+    // Hot-map audit: one insert per trace reference; only len() is read,
+    // so the deterministic FxHash set is a pure win.
+    let mut touched: FxHashSet<u64> = FxHashSet::default();
+    let mut dirty: FxHashSet<u64> = FxHashSet::default();
     for p in wl.phases.iter().filter(|p| !p.unit.is_host()) {
         for r in &p.refs {
             let b = r.block().index();

@@ -30,6 +30,7 @@ use fusion_types::{
 };
 
 use crate::checker::ProtocolChecker;
+use crate::transition;
 
 /// Per-L0X-line ACC metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +46,7 @@ pub struct L0Meta {
 }
 
 /// Per-L1X-line ACC metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct L1Meta {
     /// Set when the line was brought in by the prefetcher and has not yet
     /// served a demand access (prefetch-accuracy accounting).
@@ -67,20 +68,6 @@ pub struct L1Meta {
     /// grant, writeback arrival or host fill) — the lease-renewal
     /// extension compares it against an L0X copy's acquisition time.
     pub last_write: Cycle,
-}
-
-impl L1Meta {
-    fn fresh() -> Self {
-        L1Meta {
-            prefetched: false,
-            gtime: Cycle::ZERO,
-            write_locked_until: None,
-            writer: None,
-            wb_ready_at: None,
-            sole_holder: None,
-            last_write: Cycle::ZERO,
-        }
-    }
 }
 
 /// Timing configuration of the tile's internal links and arrays.
@@ -518,40 +505,33 @@ impl AccTile {
         self.stats.lease_renewals += 1;
         let at_l1 = now + self.timing.l0_latency + self.timing.msg_cycles();
         let timing = self.timing;
-        let start = {
-            let line = self
-                .l1x
-                .probe_mut(pid, block)
-                .expect("renewal requires a resident L1X line");
-            let meta = &mut line.meta;
-            if meta.gtime < at_l1 {
-                meta.sole_holder = None;
+        let Some(line) = self.l1x.probe_mut(pid, block) else {
+            // Unreachable by construction: `axc_access` verified residency
+            // immediately before electing renewal. Degrade to a full epoch
+            // request and let the checker flag the inconsistency rather
+            // than aborting the simulation.
+            if let Some(c) = self.checker.as_deref_mut() {
+                c.record(
+                    "ACC",
+                    "renewal-residency",
+                    format!("renewal for block {block:?} found no resident L1X line"),
+                );
             }
-            let mut start = at_l1;
-            if let (Some(lock_end), Some(writer)) = (meta.write_locked_until, meta.writer) {
-                if writer != axc && lock_end >= at_l1 {
-                    start = start.max(lock_end + timing.data_cycles());
-                }
-            }
-            if kind.is_write() && meta.sole_holder.is_some() && meta.sole_holder != Some(axc) {
-                start = start.max(meta.gtime);
-            }
-            let end = start + lease as u64;
-            meta.gtime = meta.gtime.max(end);
-            meta.sole_holder = match meta.sole_holder {
-                None => Some(axc),
-                Some(a) if a == axc => Some(axc),
-                Some(_) => None,
-            };
-            if kind.is_write() {
-                meta.write_locked_until = Some(end);
-                meta.writer = Some(axc);
-                meta.last_write = meta.last_write.max(start);
-            }
-            start
+            self.stats.renewal_refetches += 1;
+            return self.request_epoch(axc, pid, block, kind, now, lease);
         };
+        let grant = transition::acc_grant(
+            line.meta,
+            axc,
+            kind.is_write(),
+            at_l1,
+            lease,
+            timing.data_cycles(),
+            transition::GrantMode::Renewal,
+        );
+        line.meta = grant.meta;
+        let (start, end) = (grant.start, grant.lease_end);
         self.stats.stall_cycles += start - at_l1;
-        let end = start + lease as u64;
         // Grant acknowledgement message back (no data).
         let done = start + timing.l1_latency + timing.msg_cycles() + timing.l0_latency;
         let l0 = &mut self.l0x[axc.index()];
@@ -611,58 +591,27 @@ impl AccTile {
         lease: u32,
     ) -> Cycle {
         let timing = self.timing;
-        let meta = {
-            let line = self
-                .l1x
-                .probe_mut(pid, block)
-                .expect("grant_from_l1x requires a resident line");
-            &mut line.meta
-        };
-        if meta.prefetched {
-            meta.prefetched = false;
+        let line = self
+            .l1x
+            .probe_mut(pid, block)
+            .expect("grant_from_l1x requires a resident line"); // lint:allow-unwrap — both callers (request_epoch, complete_fill) establish residency first
+                                                                // The stall rules, GTIME extension and write-lock bookkeeping all
+                                                                // live in the pure transition function the model checker verifies.
+        let grant = transition::acc_grant(
+            line.meta,
+            axc,
+            kind.is_write(),
+            at_l1,
+            lease,
+            timing.data_cycles(),
+            transition::GrantMode::Fresh,
+        );
+        line.meta = grant.meta;
+        if grant.was_prefetched {
             self.stats.prefetch_hits += 1;
         }
-        // Clear stale epoch state.
-        if meta.gtime < at_l1 {
-            meta.sole_holder = None;
-        }
-        let mut start = at_l1;
-        // Rule 1: stall on an active write epoch held by another AXC until
-        // the lease expires and the self-downgrade writeback lands.
-        if let (Some(lock_end), Some(writer)) = (meta.write_locked_until, meta.writer) {
-            if writer != axc && lock_end >= at_l1 {
-                let wb_done = lock_end + timing.data_cycles();
-                start = start.max(wb_done);
-            } else if writer != axc {
-                // Lock expired but the writeback may still be in flight.
-                if let Some(wb) = meta.wb_ready_at {
-                    start = start.max(wb);
-                }
-            }
-        } else if let Some(wb) = meta.wb_ready_at {
-            start = start.max(wb);
-        }
-        // Rule 2: a new *write* epoch must wait for all outstanding read
-        // leases of other AXCs (self-invalidation: they cannot be
-        // revoked). A sole holder upgrading its own lease is exempt.
-        if kind.is_write() && meta.sole_holder != Some(axc) {
-            start = start.max(meta.gtime);
-        }
+        let (start, end) = (grant.start, grant.lease_end);
         self.stats.stall_cycles += start - at_l1;
-
-        let end = start + lease as u64;
-        meta.gtime = meta.gtime.max(end);
-        meta.sole_holder = match meta.sole_holder {
-            None => Some(axc),
-            Some(a) if a == axc => Some(axc),
-            Some(_) => None,
-        };
-        if kind.is_write() {
-            meta.write_locked_until = Some(end);
-            meta.writer = Some(axc);
-            meta.wb_ready_at = None;
-            meta.last_write = meta.last_write.max(start);
-        }
 
         // L1X data access + response. The requester consumes the critical
         // word as soon as it arrives; the rest of the line streams behind
@@ -830,25 +779,11 @@ impl AccTile {
             Some(line) => {
                 line.dirty = true;
                 self.stats.l1_accesses += 1;
-                line.meta.wb_ready_at = Some(match line.meta.wb_ready_at {
-                    Some(prev) => prev.max(wb_ready),
-                    None => wb_ready,
-                });
-                if line.meta.writer == Some(axc) {
-                    line.meta.write_locked_until =
-                        Some(at.min(match line.meta.write_locked_until {
-                            Some(t) => t,
-                            None => at,
-                        }));
-                }
-                line.meta.last_write = line.meta.last_write.max(wb_ready);
                 // The writeback message doubles as a lease release: the
                 // writer's copy is invalid once written back, so when it
                 // was the sole holder the L1X can lower GTIME to the
                 // writeback horizon instead of the unused epoch remainder.
-                if line.meta.sole_holder == Some(axc) {
-                    line.meta.gtime = line.meta.gtime.min(wb_ready);
-                }
+                line.meta = transition::acc_writeback(line.meta, axc, at, wb_ready);
             }
             None => {
                 // Line already evicted from the L1X: the data continues to
@@ -870,11 +805,7 @@ impl AccTile {
         // Keep the L1X epoch state consistent: the consumer now holds the
         // (dirty) copy under the same epoch.
         if let Some(line) = self.l1x.probe_mut(pid, block) {
-            line.meta.gtime = line.meta.gtime.max(lease_end);
-            line.meta.sole_holder = Some(rule.consumer);
-            line.meta.write_locked_until = None;
-            line.meta.writer = None;
-            line.meta.wb_ready_at = None;
+            line.meta = transition::acc_forward(line.meta, rule.producer, rule.consumer, lease_end);
         }
         let l0 = &mut self.l0x[rule.consumer.index()];
         let set = l0.set_index(block);
@@ -911,8 +842,7 @@ impl AccTile {
         lease: u32,
     ) -> FillResult {
         self.stats.l1_accesses += 1;
-        let mut fresh = L1Meta::fresh();
-        fresh.last_write = data_at;
+        let fresh = transition::acc_fill_meta(data_at, false);
         let victim = self.l1x.insert(pid, block, fresh, kind.is_write());
         let evicted = victim.map(|v| {
             let release_at = v.meta.gtime.max(data_at);
@@ -946,9 +876,7 @@ impl AccTile {
         }
         self.stats.prefetch_installs += 1;
         self.stats.l1_accesses += 1;
-        let mut fresh = L1Meta::fresh();
-        fresh.last_write = data_at;
-        fresh.prefetched = true;
+        let fresh = transition::acc_fill_meta(data_at, true);
         let victim = self.l1x.insert(pid, block, fresh, false);
         victim.map(|v| {
             let release_at = v.meta.gtime.max(data_at);
@@ -999,12 +927,7 @@ impl AccTile {
         for block in dirty_blocks {
             // Truncate the write epoch at `now` before writing back.
             if let Some(line) = self.l1x.probe_mut(pid, block) {
-                if line.meta.writer == Some(axc) {
-                    line.meta.write_locked_until = Some(match line.meta.write_locked_until {
-                        Some(t) => t.min(now),
-                        None => now,
-                    });
-                }
+                line.meta = transition::acc_truncate_write_epoch(line.meta, axc, now);
             }
             self.writeback(axc, pid, block, now, true);
         }
@@ -1024,12 +947,7 @@ impl AccTile {
                 line.meta.write_lease = false;
             }
             if let Some(l1) = self.l1x.probe_mut(lpid, block) {
-                if l1.meta.sole_holder == Some(axc) {
-                    l1.meta.gtime = l1.meta.gtime.min(now);
-                    if l1.meta.writer == Some(axc) {
-                        l1.meta.write_locked_until = l1.meta.write_locked_until.map(|t| t.min(now));
-                    }
-                }
+                l1.meta = transition::acc_release_lease(l1.meta, axc, now);
             }
         }
     }
@@ -1047,25 +965,11 @@ impl AccTile {
                 was_cached: false,
             };
         };
-        let meta = line.meta;
-        let mut dirty = line.dirty;
-        let mut release = now;
-        if meta.gtime > now {
-            release = meta.gtime;
-            self.stats.host_forward_waits += 1;
-        }
-        if let Some(lock) = meta.write_locked_until {
-            if lock >= now {
-                // The writer's self-downgrade lands after the lock expires.
-                release = release.max(lock + self.timing.data_cycles());
-                dirty = true;
-                self.stats.host_forward_waits += 1;
-            }
-        }
-        if let Some(wb) = meta.wb_ready_at {
-            release = release.max(wb);
-            dirty = true;
-        }
+        let rel =
+            transition::acc_host_release(&line.meta, line.dirty, now, self.timing.data_cycles());
+        self.stats.host_forward_waits += rel.waits;
+        let mut dirty = rel.dirty;
+        let release = rel.release_at;
         // Collect any still-dirty L0X data for this block (lazy writeback
         // accounting: the data would have self-downgraded by GTIME).
         for (idx, l0) in self.l0x.iter_mut().enumerate() {

@@ -44,7 +44,8 @@
 pub mod acc;
 pub mod checker;
 pub mod mesi;
+pub mod transition;
 
 pub use acc::{AccAccess, AccTile, ForwardRule, HostForward, L1Evicted, TileStats, TileTiming};
 pub use checker::ProtocolChecker;
-pub use mesi::{AgentId, DirectoryMesi, MesiOutcome, MesiReq};
+pub use mesi::{AgentId, DirState, DirectoryMesi, MesiOutcome, MesiReq};

@@ -19,6 +19,7 @@ use fusion_types::fault::{ProtocolFault, ProtocolFaultKind};
 use fusion_types::{BlockAddr, CacheGeometry, PhysAddr, Pid};
 
 use crate::checker::ProtocolChecker;
+use crate::transition::{dir_recall_targets, dir_release, dir_transition};
 
 /// Identifies a coherence agent below the shared L2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,7 +32,8 @@ impl AgentId {
     /// in the SCRATCH system).
     pub const TILE: AgentId = AgentId(1);
 
-    fn mask(self) -> u32 {
+    /// This agent's bit in a sharer bitmask.
+    pub fn mask(self) -> u32 {
         1 << self.0
     }
 }
@@ -56,8 +58,12 @@ pub enum MesiReq {
 }
 
 /// Directory-visible state of one block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DirState {
+///
+/// Public so the pure transition functions in [`crate::transition`] (and
+/// the `fusion-verify` model checker built on them) can speak the same
+/// state language as the timing directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirState {
     /// Valid in L2, cached by no agent.
     Idle,
     /// One or more agents hold Shared copies (bitmask).
@@ -191,65 +197,34 @@ impl DirectoryMesi {
                     },
                     false,
                 ) {
-                    match victim.meta.state {
-                        DirState::Idle => {}
-                        DirState::Shared(mask) => {
-                            for a in agents_of(mask) {
-                                out.recalls.push((victim.block, a));
-                            }
-                        }
-                        DirState::Owned(a) => {
-                            out.recalls.push((victim.block, a));
-                            // Owner may hold dirty data: recall writes back.
-                            out.dirty_writeback = true;
-                            out.memory_accesses += 1;
-                        }
+                    let (targets, owner_writeback) = dir_recall_targets(victim.meta.state);
+                    for a in targets {
+                        out.recalls.push((victim.block, a));
+                    }
+                    if owner_writeback {
+                        // Owner may hold dirty data: recall writes back.
+                        out.dirty_writeback = true;
+                        out.memory_accesses += 1;
                     }
                 }
                 DirState::Idle
             }
         };
 
-        let next = match (prior, req) {
-            (DirState::Idle, MesiReq::GetS) => {
-                // E state optimization: sole sharer gets Exclusive.
-                DirState::Owned(agent)
-            }
-            (DirState::Idle, MesiReq::GetX) => DirState::Owned(agent),
-            (DirState::Shared(mask), MesiReq::GetS) => DirState::Shared(mask | agent.mask()),
-            (DirState::Shared(mask), MesiReq::GetX) => {
-                for a in agents_of(mask & !agent.mask()) {
-                    out.invalidated.push(a);
-                    self.invalidations += 1;
-                }
-                DirState::Owned(agent)
-            }
-            (DirState::Owned(owner), MesiReq::GetS) => {
-                if owner == agent {
-                    DirState::Owned(agent)
-                } else {
-                    // 3-hop: forward to owner, owner downgrades to S and
-                    // supplies data; both end up sharers.
-                    out.forwarded_to.push(owner);
-                    self.forwards += 1;
-                    DirState::Shared(owner.mask() | agent.mask())
-                }
-            }
-            (DirState::Owned(owner), MesiReq::GetX) => {
-                if owner == agent {
-                    DirState::Owned(agent)
-                } else {
-                    out.forwarded_to.push(owner);
-                    self.forwards += 1;
-                    DirState::Owned(agent)
-                }
-            }
-        };
+        let tr = dir_transition(prior, agent, req);
+        for a in crate::transition::agents_of(tr.invalidate) {
+            out.invalidated.push(a);
+            self.invalidations += 1;
+        }
+        if let Some(owner) = tr.forward_owner {
+            out.forwarded_to.push(owner);
+            self.forwards += 1;
+        }
         let line = self
             .l2
             .probe_mut(Self::PHYS, block)
-            .expect("line just installed or hit");
-        line.meta = DirEntry { state: next };
+            .expect("line just installed or hit"); // lint:allow-unwrap — insert/lookup above guarantees residency
+        line.meta = DirEntry { state: tr.next };
         line.dirty = line.dirty || req == MesiReq::GetX;
         if self.checker.is_some() {
             self.checker_after_request(agent, block, req);
@@ -322,18 +297,7 @@ impl DirectoryMesi {
         let block = Self::key(pa);
         if let Some(line) = self.l2.probe_mut(Self::PHYS, block) {
             line.dirty = line.dirty || dirty;
-            line.meta.state = match line.meta.state {
-                DirState::Owned(a) if a == agent => DirState::Idle,
-                DirState::Shared(mask) => {
-                    let m = mask & !agent.mask();
-                    if m == 0 {
-                        DirState::Idle
-                    } else {
-                        DirState::Shared(m)
-                    }
-                }
-                other => other,
-            };
+            line.meta.state = dir_release(line.meta.state, agent);
         }
     }
 
@@ -395,10 +359,6 @@ impl DirectoryMesi {
     pub fn l2_misses(&self) -> u64 {
         self.l2.misses()
     }
-}
-
-fn agents_of(mask: u32) -> impl Iterator<Item = AgentId> {
-    (0..32u8).filter(move |b| mask & (1 << b) != 0).map(AgentId)
 }
 
 #[cfg(test)]

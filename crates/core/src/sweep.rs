@@ -57,7 +57,6 @@
 //!     .all(|o| o.result.as_ref().unwrap().total_cycles > 0));
 //! ```
 
-use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -66,6 +65,7 @@ use std::time::Instant;
 use fusion_accel::{io as trace_io, DecodedTrace, Workload};
 use fusion_types::error::SimError;
 use fusion_types::fault::CheckerConfig;
+use fusion_types::hash::FxHashMap;
 use fusion_types::{ProtocolFaultKind, SystemConfig};
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
@@ -198,7 +198,9 @@ pub struct SharedTrace {
 /// slot, not on each other's builds).
 #[derive(Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<(SuiteId, Scale), BuildSlot>>,
+    // Hot-map audit: keyed per (suite, scale) under a mutex; FxHash keeps
+    // the critical section short and the iteration order deterministic.
+    slots: Mutex<FxHashMap<(SuiteId, Scale), BuildSlot>>,
     builds: AtomicUsize,
 }
 

@@ -1,7 +1,5 @@
 //! FUSION / FUSION-Dx: private L0Xs + shared L1X under the ACC protocol.
 
-use std::collections::HashMap;
-
 use fusion_accel::analysis::forward_pairs_windowed;
 use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
 use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
@@ -157,8 +155,11 @@ impl FusionSystem {
         }
         // FUSION-Dx: forwarding directives grouped by producing phase —
         // a rule is armed only while its producing invocation runs.
-        let mut rules_by_phase: HashMap<usize, FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>> =
-            HashMap::new();
+        // Hot-map audit: built per simulation and probed on every access
+        // in the forwarding fast path; FxHash keeps the probe cheap and the
+        // iteration order deterministic.
+        let mut rules_by_phase: FxHashMap<usize, FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>> =
+            FxHashMap::default();
         if self.dx {
             // Per-function epoch lengths for the forwarded copies.
             let lease_of = |axc: fusion_types::AxcId| {

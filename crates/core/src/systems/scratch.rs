@@ -133,9 +133,11 @@ impl ScratchSystem {
                         |j, at| {
                             ledger.charge(Component::AxcCache, em.scratchpad_access);
                             if wdp.kinds[j].is_write() {
+                                // lint:allow-unwrap — the oracle schedule sized the window
                                 sp.write(wdp.blocks[j]).expect("oracle DMA window overflow");
                             } else {
                                 sp.read(wdp.blocks[j])
+                                    // lint:allow-unwrap — oracle preloads every read block
                                     .expect("oracle DMA missed a read block");
                             }
                             latency.record(sp_lat);

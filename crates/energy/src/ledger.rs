@@ -80,6 +80,7 @@ impl Component {
     }
 
     fn index(self) -> usize {
+        // lint:allow-unwrap — ALL enumerates every Component variant
         Component::ALL.iter().position(|&c| c == self).unwrap()
     }
 

@@ -291,6 +291,7 @@ impl<M> SetAssocCache<M> {
                 .enumerate()
                 .min_by_key(|(_, l)| l.stamp)
                 .map(|(i, _)| i)
+                // lint:allow-unwrap — sets have at least one way by construction
                 .expect("victim selection on non-empty set"),
             ReplacementPolicy::Random => {
                 // xorshift64*

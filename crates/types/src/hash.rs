@@ -59,6 +59,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in chunks.by_ref() {
+            // lint:allow-unwrap — chunks_exact(8) yields exact-size slices
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rest = chunks.remainder();

@@ -1,0 +1,226 @@
+//! Workspace source lint: enforces the two hygiene rules the hot-path
+//! audit (PR 2) and fault-tolerance work (PR 3) established by hand:
+//!
+//! - `std-map` — library code must use the deterministic `FxHashMap` /
+//!   `FxHashSet` from `fusion_types::hash`, never `std::collections`
+//!   hash containers (nondeterministic iteration order, slower SipHash).
+//! - `unwrap` — non-test library code must not `.unwrap()` / `.expect(`;
+//!   fallible paths return typed errors (see `fusion_types::fault`).
+//!
+//! Scope: every `.rs` file under `crates/*/src`. Lines inside the
+//! trailing `#[cfg(test)]` module and `//` comment lines are ignored;
+//! binaries (`src/bin/`, `src/main.rs`) are exempt from the `unwrap`
+//! rule (top-level CLI code may abort). A site can be suppressed inline
+//! with a `lint:allow-unwrap` / `lint:allow-std-map` marker on the line
+//! or up to two lines above, with a justification; whole files are
+//! suppressed via `crates/verify/lint.allow` (`<rule> <path> <reason>`
+//! per line). Stale allowlist entries are errors, so the allowlist can
+//! only shrink.
+//!
+//! Exit codes: 0 clean, 1 findings (or stale allowlist entries),
+//! 2 usage / IO error. Std-only: no walkdir, no regex.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// Built by concatenation so this file does not flag itself.
+const STD_MAP_NEEDLES: [&str; 2] = [
+    concat!("std::collections::", "HashMap"),
+    concat!("std::collections::", "HashSet"),
+];
+const UNWRAP_NEEDLES: [&str; 2] = [concat!(".unwrap", "()"), concat!(".expect", "(")];
+/// The one sanctioned wrapper around the std hash containers.
+const STD_MAP_EXEMPT: &str = "crates/types/src/hash.rs";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    StdMap,
+    Unwrap,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::StdMap => "std-map",
+            Rule::Unwrap => "unwrap",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "std-map" => Some(Rule::StdMap),
+            "unwrap" => Some(Rule::Unwrap),
+            _ => None,
+        }
+    }
+
+    fn marker(self) -> &'static str {
+        match self {
+            Rule::StdMap => "lint:allow-std-map",
+            Rule::Unwrap => "lint:allow-unwrap",
+        }
+    }
+}
+
+struct Finding {
+    rule: Rule,
+    path: String,
+    line: usize,
+    text: String,
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn scan_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let is_bin = rel.contains("/bin/") || rel.ends_with("/main.rs");
+    let lines: Vec<&str> = source.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Everything from the (trailing, by convention) test module on is
+        // test code.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut rules: Vec<Rule> = Vec::new();
+        if rel != STD_MAP_EXEMPT && STD_MAP_NEEDLES.iter().any(|n| raw.contains(n)) {
+            rules.push(Rule::StdMap);
+        }
+        if !is_bin && UNWRAP_NEEDLES.iter().any(|n| raw.contains(n)) {
+            rules.push(Rule::Unwrap);
+        }
+        for rule in rules {
+            let suppressed = lines[i.saturating_sub(2)..=i]
+                .iter()
+                .any(|l| l.contains(rule.marker()));
+            if !suppressed {
+                findings.push(Finding {
+                    rule,
+                    path: rel.to_string(),
+                    line: i + 1,
+                    text: trimmed.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> Result<Vec<(Rule, String, bool)>, String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Ok(Vec::new()); // no allowlist = empty allowlist
+    };
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let (rule, file) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(_reason)) => (rule, file),
+            _ => {
+                return Err(format!(
+                    "{}:{}: malformed entry (want `<rule> <path> <reason>`): {line}",
+                    path.display(),
+                    i + 1
+                ));
+            }
+        };
+        let rule = Rule::parse(rule)
+            .ok_or_else(|| format!("{}:{}: unknown rule `{rule}`", path.display(), i + 1))?;
+        entries.push((rule, file.to_string(), false));
+    }
+    Ok(entries)
+}
+
+fn run() -> Result<bool, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let crates = cwd.join("crates");
+    if !crates.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory — run from the workspace root",
+            cwd.display()
+        ));
+    }
+
+    let mut files = Vec::new();
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(&cwd)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        scan_file(&rel, &source, &mut findings);
+    }
+
+    let mut allowlist = load_allowlist(&cwd.join("crates/verify/lint.allow"))?;
+    let mut clean = true;
+    for f in &findings {
+        let allowed = allowlist
+            .iter_mut()
+            .find(|(rule, file, _)| *rule == f.rule && *file == f.path);
+        if let Some(entry) = allowed {
+            entry.2 = true;
+            continue;
+        }
+        clean = false;
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule.name(), f.text);
+    }
+    for (rule, file, used) in &allowlist {
+        if !used {
+            clean = false;
+            println!(
+                "crates/verify/lint.allow: stale entry `{} {file}` — no findings in that \
+                 file; delete the entry",
+                rule.name()
+            );
+        }
+    }
+    if clean {
+        println!(
+            "lint: {} files clean ({} allowlisted findings)",
+            files.len(),
+            allowlist.len()
+        );
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

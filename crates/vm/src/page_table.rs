@@ -68,6 +68,7 @@ impl PageTable {
         let frame = *self
             .frames
             .get(&(target_pid, tpage))
+            // lint:allow-unwrap — callers map the target before aliasing it
             .expect("alias target must already be mapped");
         let vpage = va.value() / PAGE_BYTES as u64;
         self.frames.insert((pid, vpage), frame);

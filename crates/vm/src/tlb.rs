@@ -91,6 +91,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
+                // lint:allow-unwrap — eviction only runs when entries is full
                 .expect("non-empty TLB");
             self.entries.swap_remove(victim);
         }

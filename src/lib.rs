@@ -8,6 +8,8 @@
 //!   (SCRATCH / SHARED / FUSION / FUSION-Dx) and the experiment runner.
 //! * [`fusion_workloads`] — the seven benchmark applications.
 //! * [`fusion_coherence`] — directory MESI and the ACC lease protocol.
+//! * [`fusion_verify`] — the exhaustive protocol model checker over the
+//!   pure transition functions (DESIGN.md §11).
 //! * [`fusion_mem`], [`fusion_vm`], [`fusion_dma`], [`fusion_accel`],
 //!   [`fusion_energy`], [`fusion_sim`], [`fusion_types`] — substrates.
 //!
@@ -30,5 +32,6 @@ pub use fusion_energy as energy;
 pub use fusion_mem as mem;
 pub use fusion_sim as sim;
 pub use fusion_types as types;
+pub use fusion_verify as verify;
 pub use fusion_vm as vm;
 pub use fusion_workloads as workloads;

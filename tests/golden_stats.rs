@@ -9,7 +9,7 @@
 //! makes the byte comparison stable across machines and runs.
 
 use fusion_core::{run_system, SystemKind};
-use fusion_types::SystemConfig;
+use fusion_types::{CheckerConfig, SystemConfig};
 use fusion_workloads::{build_suite, Scale, SuiteId};
 
 const CASES: [(&str, SuiteId, &str, SystemKind, &str); 8] = [
@@ -84,6 +84,26 @@ fn every_golden_snapshot_reproduces_byte_for_byte() {
             golden.trim_end(),
             "stats drifted from tests/golden/{suite_name}_{sys_name}.json — \
              the hot path is supposed to be result-invisible"
+        );
+    }
+}
+
+/// The runtime protocol checker is purely observational: a clean
+/// checker-on run must reproduce the same golden bytes as the trusted
+/// path. This pins the refactor of `acc`/`mesi` onto the shared pure
+/// transition functions — if checker-mode validation ever perturbed
+/// timing or stats, the snapshots would catch it here.
+#[test]
+fn checker_enabled_runs_match_the_golden_snapshots() {
+    let cfg = SystemConfig::small().with_checker(CheckerConfig::enabled());
+    for (suite_name, suite, sys_name, kind, golden) in CASES {
+        let wl = build_suite(suite, Scale::Small);
+        let res = run_system(kind, &wl, &cfg).unwrap();
+        assert_eq!(
+            res.to_json(),
+            golden.trim_end(),
+            "checker-on stats drifted from tests/golden/{suite_name}_{sys_name}.json — \
+             the checker is supposed to be observational"
         );
     }
 }
