@@ -109,31 +109,28 @@ impl DmaWindow {
 pub fn dma_windows(phase: &Phase, capacity_blocks: usize) -> Vec<DmaWindow> {
     assert!(capacity_blocks > 0, "scratchpad must hold at least a block");
     let mut windows = Vec::new();
-    // Hot-map audit: these maps see one probe per trace reference, and the
-    // DMA lists drained out of them are sorted before use, so iteration
-    // order never reaches the result.
-    let mut resident: FxHashMap<BlockAddr, bool> = FxHashMap::default(); // -> dirty
-    let mut first_is_read: FxHashMap<BlockAddr, bool> = FxHashMap::default();
+    // Hot-map audit: one probe per trace reference; the DMA lists drained
+    // out of the map are sorted before use, so iteration order never
+    // reaches the result. The value packs (dirty, first_is_read) so the
+    // whole analysis costs a single probe per reference.
+    let mut resident: FxHashMap<BlockAddr, (bool, bool)> = FxHashMap::default();
     let mut window_start = 0usize;
 
-    let mut close = |resident: &mut FxHashMap<BlockAddr, bool>,
-                     first_is_read: &mut FxHashMap<BlockAddr, bool>,
-                     range: (usize, usize)| {
+    let mut close = |resident: &mut FxHashMap<BlockAddr, (bool, bool)>, range: (usize, usize)| {
         if range.0 == range.1 {
             return;
         }
-        let mut dma_in: Vec<BlockAddr> = first_is_read
+        let mut dma_in: Vec<BlockAddr> = resident
             .iter()
-            .filter_map(|(b, is_read)| is_read.then_some(*b))
+            .filter_map(|(b, &(_, is_read))| is_read.then_some(*b))
             .collect();
         let mut dma_out: Vec<BlockAddr> = resident
             .iter()
-            .filter_map(|(b, dirty)| dirty.then_some(*b))
+            .filter_map(|(b, &(dirty, _))| dirty.then_some(*b))
             .collect();
         dma_in.sort_unstable();
         dma_out.sort_unstable();
         resident.clear();
-        first_is_read.clear();
         windows.push(DmaWindow {
             dma_in,
             dma_out,
@@ -143,21 +140,18 @@ pub fn dma_windows(phase: &Phase, capacity_blocks: usize) -> Vec<DmaWindow> {
 
     for (i, r) in phase.refs.iter().enumerate() {
         let b = r.block();
-        if !resident.contains_key(&b) && resident.len() >= capacity_blocks {
-            close(&mut resident, &mut first_is_read, (window_start, i));
-            window_start = i;
+        let is_write = r.kind.is_write();
+        if let Some((dirty, _)) = resident.get_mut(&b) {
+            *dirty |= is_write;
+        } else {
+            if resident.len() >= capacity_blocks {
+                close(&mut resident, (window_start, i));
+                window_start = i;
+            }
+            resident.insert(b, (is_write, !is_write));
         }
-        let dirty = resident.entry(b).or_insert(false);
-        if r.kind.is_write() {
-            *dirty = true;
-        }
-        first_is_read.entry(b).or_insert(!r.kind.is_write());
     }
-    close(
-        &mut resident,
-        &mut first_is_read,
-        (window_start, phase.refs.len()),
-    );
+    close(&mut resident, (window_start, phase.refs.len()));
     windows
 }
 

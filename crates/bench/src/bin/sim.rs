@@ -7,7 +7,8 @@
 //! sim trace   --suite <...> [--scale ...] --out <file>
 //! sim replay  --system <...> --trace <file> [--json] [config flags]
 //! sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]
-//! sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]
+//! sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json]
+//!             [robustness flags] [config flags]
 //! sim verify  [--protocol acc|acc-dx|acc-renew|mesi|all] [--agents <N>] [--blocks <N>]
 //!             [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]
 //!             [--max-states <N>] [--json]
@@ -52,13 +53,15 @@ sim trace   --suite <...> [--scale ...] --out <file>\n  \
 sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n              \
 [--lease-renewal] [--prefetch <N>]\n  \
 sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]\n  \
-sim sweep   [--scale ...] [--threads <N>] [--json] [robustness flags] [config flags]\n  \
+sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json]\n              \
+[robustness flags] [config flags]\n  \
 sim verify  [--protocol <acc|acc-dx|acc-renew|mesi|all>] [--agents <N>] [--blocks <N>]\n              \
 [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]\n              \
 [--max-states <N>] [--json]\n\n\
 verify fault kinds: lease-overrun, gtime-regression (ACC);\n  \
 empty-sharers, wrong-owner (MESI)\n\n\
 robustness flags (compare/sweep):\n  \
+--tile-threads <N>    per-job tile-worker reservation (sweep; echoed in JSON rows)\n  \
 --retries <N>         retry panicked/timed-out jobs up to N extra times\n  \
 --fail-fast           stop claiming new jobs after the first permanent failure\n  \
 --budget <cycles>     per-job simulated-cycle budget (livelock watchdog)\n  \
@@ -92,7 +95,7 @@ const FLAG_KEYS: [&str; 6] = [
     "expect-violation",
 ];
 /// Options that consume the next argument as their value.
-const VALUE_KEYS: [&str; 17] = [
+const VALUE_KEYS: [&str; 18] = [
     "system",
     "suite",
     "scale",
@@ -100,6 +103,7 @@ const VALUE_KEYS: [&str; 17] = [
     "trace",
     "prefetch",
     "threads",
+    "tile-threads",
     "retries",
     "budget",
     "deadline-ms",
@@ -232,6 +236,9 @@ fn sweep_from(scale: Scale, args: &Args, jobs: usize) -> Result<Sweep, String> {
     let mut sweep = Sweep::new(scale);
     if let Some(n) = args.numeric("threads")? {
         sweep = sweep.threads(n);
+    }
+    if let Some(n) = args.numeric("tile-threads")? {
+        sweep = sweep.tile_threads(n);
     }
     if let Some(n) = args.numeric("retries")? {
         sweep = sweep.retries(n as u32);
@@ -402,6 +409,7 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let expected = jobs.len();
     let sweep = sweep_from(scale, args, expected)?;
     let pool = sweep.pool_size(jobs.len());
+    let tile_threads = sweep.tile_threads_per_job();
     let started = std::time::Instant::now();
     let outcomes = sweep.run(jobs);
     let total = started.elapsed();
@@ -416,7 +424,8 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
                 Ok(res) => {
                     let m = res.metrics;
                     println!(
-                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"wall_ms\":{:.3},\
+                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"tile_threads\":{tile_threads},\
+                         \"wall_ms\":{:.3},\
                          \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
                          \"refs_per_sec\":{:.0},\"result\":{}}}{tail}",
                         o.job.suite.label(),
@@ -470,7 +479,8 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let busy: u64 = done.iter().map(|r| r.metrics.wall_nanos).sum();
     let refs: u64 = done.iter().map(|r| r.metrics.refs_simulated).sum();
     println!(
-        "{} jobs on {pool} worker(s): {:.1} ms wall, {:.1} ms of simulation ({:.2}x), \
+        "{} jobs on {pool} worker(s) x {tile_threads} tile thread(s): \
+         {:.1} ms wall, {:.1} ms of simulation ({:.2}x), \
          {:.2} Mrefs/s",
         outcomes.len(),
         total.as_secs_f64() * 1e3,

@@ -1,0 +1,132 @@
+//! Tile-parallel replay scaling driver.
+//!
+//! ```text
+//! tile_scaling [--scale tiny|small|paper] [--tile-threads <N>] [--repeat <N>]
+//! ```
+//!
+//! Builds one multi-tile FUSION system with every Table 1 suite mapped to
+//! its own tile, replays it with the requested number of tile workers,
+//! and prints the per-tile stats as a JSON array on **stdout** — nothing
+//! else. Timing goes to **stderr**, so CI can assert the determinism
+//! contract of DESIGN.md §12 by comparing stdout byte-for-byte across
+//! thread counts:
+//!
+//! ```text
+//! tile_scaling --scale tiny --tile-threads 1 > a.json
+//! tile_scaling --scale tiny --tile-threads 4 > b.json
+//! cmp a.json b.json
+//! ```
+//!
+//! `--repeat` replays the system N times (same workloads, fresh system
+//! each pass) and reports per-pass throughput, for scaling measurements;
+//! stdout still carries exactly one JSON array (the passes are asserted
+//! identical before printing).
+
+use std::process::ExitCode;
+
+use fusion_core::systems::MultiTileSystem;
+use fusion_types::SystemConfig;
+use fusion_workloads::{all_suites, build_suite, Scale};
+
+const USAGE: &str =
+    "usage: tile_scaling [--scale tiny|small|paper] [--tile-threads <N>] [--repeat <N>]";
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut tile_threads = 1usize;
+    let mut repeat = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&str, String> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} requires a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                let v = value(i)?;
+                scale = parse_scale(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+                i += 2;
+            }
+            "--tile-threads" => {
+                let v = value(i)?;
+                tile_threads = v
+                    .parse()
+                    .map_err(|_| format!("--tile-threads expects an integer, got '{v}'"))?;
+                i += 2;
+            }
+            "--repeat" => {
+                let v = value(i)?;
+                repeat = v
+                    .parse()
+                    .map_err(|_| format!("--repeat expects an integer, got '{v}'"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let tile_threads = tile_threads.max(1);
+    let repeat = repeat.max(1);
+
+    // One tile per Table 1 suite: seven concurrently-resident
+    // accelerators sharing one host hierarchy.
+    let workloads: Vec<_> = all_suites()
+        .into_iter()
+        .map(|s| build_suite(s, scale))
+        .collect();
+    let total_refs: u64 = workloads.iter().map(|w| w.total_refs()).sum();
+    let cfg = SystemConfig::small();
+
+    let mut printed: Option<Vec<String>> = None;
+    for pass in 1..=repeat {
+        let started = std::time::Instant::now();
+        let results = MultiTileSystem::new(&cfg).run_parallel(&workloads, tile_threads);
+        let wall = started.elapsed();
+        eprintln!(
+            "pass {pass}/{repeat}: {} tiles x {} refs at {tile_threads} tile thread(s): \
+             {:.1} ms, {:.2} Mrefs/s",
+            results.len(),
+            total_refs,
+            wall.as_secs_f64() * 1e3,
+            total_refs as f64 * 1e3 / wall.as_nanos().max(1) as f64,
+        );
+        let jsons: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+        match &printed {
+            None => printed = Some(jsons),
+            Some(first) => {
+                if *first != jsons {
+                    return Err(format!("pass {pass} diverged from pass 1"));
+                }
+            }
+        }
+    }
+    let jsons = printed.expect("repeat >= 1 always runs one pass");
+    println!("[");
+    for (i, j) in jsons.iter().enumerate() {
+        let tail = if i + 1 < jsons.len() { "," } else { "" };
+        println!("{j}{tail}");
+    }
+    println!("]");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -43,6 +43,11 @@ pub struct L0Meta {
     /// When this copy's data was obtained (used by the lease-renewal
     /// extension to prove the local data is still current).
     pub acquired: Cycle,
+    /// When the full-line fill that installed this copy lands at the L0X.
+    /// Mirrors the tile's `in_flight` MSHR entry so a hit never probes the
+    /// map (hit-under-miss gating reads the line itself); the map is only
+    /// consulted on miss paths. `Cycle::ZERO` when no fill gates the copy.
+    pub fill_done: Cycle,
 }
 
 /// Per-L1X-line ACC metadata.
@@ -294,6 +299,28 @@ pub struct ForwardRule {
     pub eager: bool,
 }
 
+/// Single-entry L0-hit memo: the coordinates and lease state of the line
+/// the last access hit. Address streams touch the same 64 B block many
+/// times in a row, and a repeat hit whose lease is still live needs none
+/// of the generic path's set scan or MSHR-map probe — just the identical
+/// stat/LRU bookkeeping. The memo is invalidated by every slow-path access
+/// and every external mutation of tile state, so replaying through it is
+/// bit-identical to the generic path.
+#[derive(Debug, Clone, Copy)]
+struct HitMemo {
+    axc: AxcId,
+    pid: Pid,
+    block: BlockAddr,
+    set: u32,
+    way: u32,
+    lease_end: Cycle,
+    write_lease: bool,
+    dirty: bool,
+    /// In-flight fill completion gating this copy (MSHR merge; `ZERO` when
+    /// no fill gates it) — a copy of the line's [`L0Meta::fill_done`].
+    fill_done: Cycle,
+}
+
 /// The accelerator tile: per-AXC L0X caches + shared L1X under ACC.
 #[derive(Debug, Clone)]
 pub struct AccTile {
@@ -323,6 +350,8 @@ pub struct AccTile {
     /// Opt-in runtime invariant checker (DESIGN.md §10). `None` on the
     /// trusted path: the hot loop pays one predictable branch.
     checker: Option<Box<ProtocolChecker>>,
+    /// Same-block repeat-hit fast path (see [`HitMemo`]).
+    memo: Option<HitMemo>,
 }
 
 impl AccTile {
@@ -353,17 +382,20 @@ impl AccTile {
             in_flight: (0..axcs).map(|_| FxHashMap::default()).collect(),
             stats: TileStats::default(),
             checker: None,
+            memo: None,
         }
     }
 
     /// Enables the lease-renewal extension (see DESIGN.md "Extensions").
     pub fn set_lease_renewal(&mut self, enabled: bool) {
+        self.memo = None;
         self.renewal = enabled;
     }
 
     /// Enables runtime ACC invariant checking, optionally planting a
     /// deliberate protocol fault (see [`ProtocolChecker`]).
     pub fn enable_checker(&mut self, fault: Option<ProtocolFault>) {
+        self.memo = None;
         self.checker = Some(Box::new(ProtocolChecker::new(fault)));
     }
 
@@ -380,6 +412,7 @@ impl AccTile {
     /// Installs the FUSION-Dx forwarding rules (trace post-processing
     /// output). An empty map disables forwarding (plain FUSION).
     pub fn set_forward_rules(&mut self, rules: FxHashMap<(Pid, BlockAddr), Vec<ForwardRule>>) {
+        self.memo = None;
         self.forwards = rules;
     }
 
@@ -412,30 +445,70 @@ impl AccTile {
         now: Cycle,
         lease: u32,
     ) -> AccAccess {
+        // Repeat-hit fast path: same block as the last hit, lease still
+        // live, and (for stores) the write epoch and dirty bit already in
+        // place — exactly the accesses whose generic path would change
+        // nothing but counters and the LRU stamp. Replays those effects
+        // directly; every other case falls through to the generic path.
+        if let Some(m) = self.memo {
+            if m.block == block
+                && m.pid == pid
+                && m.axc == axc
+                && m.lease_end >= now
+                && (!kind.is_write() || (m.write_lease && m.dirty))
+                && self.checker.is_none()
+            {
+                self.stats.l0_accesses += 1;
+                self.stats.l0_hits += 1;
+                self.l0x[axc.index()].touch(m.set as usize, m.way as usize);
+                let mut done = now + self.timing.l0_latency;
+                if m.fill_done > done {
+                    done = m.fill_done;
+                    self.stats.mshr_merges += 1;
+                }
+                return self.maybe_write_through(axc, kind, done);
+            }
+        }
+        self.memo = None;
         self.stats.l0_accesses += 1;
-        let l0 = &mut self.l0x[axc.index()];
-        let set = l0.set_index(block);
-        if let Some(line) = l0.lookup(pid, block) {
+        let axi = axc.index();
+        let set = self.l0x[axi].set_index(block);
+        if let Some((_, way)) = self.l0x[axi].lookup_pos(pid, block) {
+            let line = self.l0x[axi].line_at(set, way);
             let meta = line.meta;
+            let was_dirty = line.dirty;
             if meta.lease_end >= now {
                 // Valid lease. Reads always proceed; writes need a write
                 // epoch (upgrade if we only hold a read lease).
                 if !kind.is_write() || meta.write_lease {
-                    if kind.is_write() && !line.dirty {
-                        line.dirty = true;
-                        self.dirty_per_set[axc.index()][set] += 1;
+                    let mut dirty = was_dirty;
+                    if kind.is_write() && !was_dirty {
+                        self.l0x[axi].line_at_mut(set, way).dirty = true;
+                        self.dirty_per_set[axi][set] += 1;
+                        dirty = true;
                     }
                     self.stats.l0_hits += 1;
                     let mut done = now + self.timing.l0_latency;
                     // Hit-under-miss: the line was installed by a fill
                     // that is still in flight — the data is not usable
-                    // before that fill lands (MSHR merge).
-                    if let Some(&fill_done) = self.in_flight[axc.index()].get(&(pid, block)) {
-                        if fill_done > done {
-                            done = fill_done;
-                            self.stats.mshr_merges += 1;
-                        }
+                    // before that fill lands (MSHR merge). The line's own
+                    // fill gate replaces a per-hit `in_flight` probe.
+                    let fill_done = meta.fill_done;
+                    if fill_done > done {
+                        done = fill_done;
+                        self.stats.mshr_merges += 1;
                     }
+                    self.memo = Some(HitMemo {
+                        axc,
+                        pid,
+                        block,
+                        set: set as u32,
+                        way: way as u32,
+                        lease_end: meta.lease_end,
+                        write_lease: meta.write_lease,
+                        dirty,
+                        fill_done,
+                    });
                     return self.maybe_write_through(axc, kind, done);
                 }
                 // Upgrade: request a write epoch from the L1X.
@@ -446,7 +519,6 @@ impl AccTile {
             // data is provably current re-acquires an epoch with control
             // messages only (no 64 B transfer in either direction).
             self.stats.l0_lease_expiries += 1;
-            let was_dirty = line.dirty;
             let acquired = meta.acquired;
             let expired_at = meta.lease_end;
             if self.renewal {
@@ -534,13 +606,19 @@ impl AccTile {
         self.stats.stall_cycles += start - at_l1;
         // Grant acknowledgement message back (no data).
         let done = start + timing.l1_latency + timing.msg_cycles() + timing.l0_latency;
-        let l0 = &mut self.l0x[axc.index()];
-        let set = l0.set_index(block);
+        let set = self.l0x[axc.index()].set_index(block);
         let keep_dirty =
             was_dirty || (kind.is_write() && self.write_policy == WritePolicy::WriteBack);
         if !was_dirty && keep_dirty {
             self.dirty_per_set[axc.index()][set] += 1;
         }
+        // Renewal leaves the MSHR map untouched: mirror its current entry
+        // (off the hot path — one probe per renewal, not per hit).
+        let fill_done = self.in_flight[axc.index()]
+            .get(&(pid, block))
+            .copied()
+            .unwrap_or(Cycle::ZERO);
+        let l0 = &mut self.l0x[axc.index()];
         l0.insert(
             pid,
             block,
@@ -548,6 +626,7 @@ impl AccTile {
                 lease_end: end,
                 write_lease: kind.is_write() || was_dirty,
                 acquired: start,
+                fill_done,
             },
             keep_dirty,
         );
@@ -621,7 +700,7 @@ impl AccTile {
         let done = start + timing.l1_latency + timing.critical_word_cycles();
         let line_done = start + timing.l1_latency + timing.data_cycles() + timing.l0_latency;
 
-        self.install_l0(axc, pid, block, kind, end, start);
+        self.install_l0(axc, pid, block, kind, end, start, line_done);
         let done = done + timing.l0_latency;
         // Record the in-flight fill so overlapping accesses to the same
         // block merge (MSHR) instead of using the data before it lands.
@@ -637,6 +716,7 @@ impl AccTile {
 
     /// Installs a granted line into the requester's L0X, handling the
     /// capacity victim.
+    #[allow(clippy::too_many_arguments)]
     fn install_l0(
         &mut self,
         axc: AxcId,
@@ -645,6 +725,7 @@ impl AccTile {
         kind: AccessKind,
         lease_end: Cycle,
         acquired: Cycle,
+        fill_done: Cycle,
     ) {
         let dirty = kind.is_write() && self.write_policy == WritePolicy::WriteBack;
         let l0 = &mut self.l0x[axc.index()];
@@ -656,6 +737,7 @@ impl AccTile {
                 lease_end,
                 write_lease: kind.is_write(),
                 acquired,
+                fill_done,
             },
             dirty,
         );
@@ -763,12 +845,17 @@ impl AccTile {
         at: Cycle,
         allow_forward: bool,
     ) {
-        let rule = self
-            .forwards
-            .get(&(pid, block))
-            .and_then(|rules| rules.iter().find(|r| r.producer == axc))
-            .copied()
-            .filter(|r| allow_forward || r.eager);
+        // Fast path: no rules armed (plain FUSION, or a phase with no
+        // forwarding directives) — skip the per-writeback hash probe.
+        let rule = if self.forwards.is_empty() {
+            None
+        } else {
+            self.forwards
+                .get(&(pid, block))
+                .and_then(|rules| rules.iter().find(|r| r.producer == axc))
+                .copied()
+                .filter(|r| allow_forward || r.eager)
+        };
         if let Some(rule) = rule {
             self.forward_to_consumer(rule, pid, block, at);
             return;
@@ -807,6 +894,12 @@ impl AccTile {
         if let Some(line) = self.l1x.probe_mut(pid, block) {
             line.meta = transition::acc_forward(line.meta, rule.producer, rule.consumer, lease_end);
         }
+        // A forwarded copy bypasses the MSHR map: mirror whatever entry the
+        // consumer's map holds for the block (usually none).
+        let fill_done = self.in_flight[rule.consumer.index()]
+            .get(&(pid, block))
+            .copied()
+            .unwrap_or(Cycle::ZERO);
         let l0 = &mut self.l0x[rule.consumer.index()];
         let set = l0.set_index(block);
         let victim = l0.insert(
@@ -816,6 +909,7 @@ impl AccTile {
                 lease_end,
                 write_lease: true, // carries the dirty token
                 acquired: at,
+                fill_done,
             },
             true,
         );
@@ -841,6 +935,7 @@ impl AccTile {
         data_at: Cycle,
         lease: u32,
     ) -> FillResult {
+        self.memo = None;
         self.stats.l1_accesses += 1;
         let fresh = transition::acc_fill_meta(data_at, false);
         let victim = self.l1x.insert(pid, block, fresh, kind.is_write());
@@ -871,6 +966,7 @@ impl AccTile {
         block: BlockAddr,
         data_at: Cycle,
     ) -> Option<L1Evicted> {
+        self.memo = None;
         if self.l1x.probe(pid, block).is_some() {
             return None;
         }
@@ -906,6 +1002,7 @@ impl AccTile {
     /// timestamps filter the sweep — only sets with dirty lines are
     /// scanned (paper Section 3.2 "implementation decision").
     pub fn downgrade_all(&mut self, axc: AxcId, pid: Pid, now: Cycle) {
+        self.memo = None;
         let sets = self.dirty_per_set[axc.index()].len();
         let mut dirty_blocks = Vec::new();
         for set in 0..sets {
@@ -957,6 +1054,7 @@ impl AccTile {
     /// dirty data) is released once GTIME has passed and any pending
     /// writeback has landed; the L0Xs are never probed (Figure 4, right).
     pub fn host_forward(&mut self, pid: Pid, block: BlockAddr, now: Cycle) -> HostForward {
+        self.memo = None;
         self.stats.host_forwards += 1;
         let Some(line) = self.l1x.probe(pid, block) else {
             return HostForward {
@@ -1002,6 +1100,7 @@ impl AccTile {
     /// End-of-workload flush: writes back every dirty line (L0X then L1X)
     /// and returns the dirty L1X blocks that must PUTX to the host.
     pub fn flush_all(&mut self, now: Cycle) -> Vec<L1Evicted> {
+        self.memo = None;
         for axc in 0..self.l0x.len() {
             let blocks: Vec<(Pid, BlockAddr)> = self.l0x[axc]
                 .iter()

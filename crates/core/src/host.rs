@@ -67,7 +67,11 @@ pub struct TileFill {
 }
 
 /// Host-side state machine shared by all four systems.
-#[derive(Debug)]
+// `Clone` backs tile-parallel replay (DESIGN.md §12): each tile worker
+// replays its phase against a private copy of the host state taken at the
+// round's arbitration point; the authoritative copy advances only through
+// the deterministic merge.
+#[derive(Debug, Clone)]
 pub struct HostSide {
     cfg: SystemConfig,
     energy: EnergyModel,
@@ -222,13 +226,7 @@ impl HostSide {
                 }
             }
         };
-        for a in out
-            .forwarded_to
-            .iter()
-            .chain(out.invalidated.iter())
-            .copied()
-            .collect::<Vec<_>>()
-        {
+        for &a in out.forwarded_to.iter().chain(out.invalidated.iter()) {
             ready = handle_agent(
                 self,
                 a,
@@ -239,7 +237,7 @@ impl HostSide {
                 &mut tile_recalls,
             );
         }
-        for (block, a) in out.recalls.clone() {
+        for &(block, a) in &out.recalls {
             let block_pa = PhysAddr::new(block.index() * CACHE_BLOCK_BYTES as u64);
             let t = handle_agent(
                 self,

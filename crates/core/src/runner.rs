@@ -218,7 +218,7 @@ pub fn run_system_guarded(
         SystemKind::Fusion => FusionSystem::new(cfg).run_guarded(workload, decoded, ctl)?,
         SystemKind::FusionDx => FusionSystem::new_dx(cfg).run_guarded(workload, decoded, ctl)?,
     };
-    res.metrics.wall_nanos = started.elapsed().as_nanos() as u64;
+    res.metrics.wall_nanos = crate::result::duration_nanos_saturating(started.elapsed());
     res.metrics.sim_events = res.total_sim_events();
     res.metrics.refs_simulated = decoded.total_refs();
     Ok(res)

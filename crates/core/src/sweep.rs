@@ -52,9 +52,9 @@
 //! assert_eq!(jobs.len(), 4 * 7);
 //! let outcomes = Sweep::new(Scale::Tiny).run(jobs);
 //! assert_eq!(outcomes.len(), 4 * 7);
-//! assert!(outcomes
-//!     .iter()
-//!     .all(|o| o.result.as_ref().unwrap().total_cycles > 0));
+//! // `expect_result` names the grid point and the typed error on
+//! // failure — prefer it over unwrapping `o.result` directly.
+//! assert!(outcomes.iter().all(|o| o.expect_result().total_cycles > 0));
 //! ```
 
 use std::panic::AssertUnwindSafe;
@@ -70,7 +70,7 @@ use fusion_types::{ProtocolFaultKind, SystemConfig};
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
 use crate::faults::{Fault, FaultPlan};
-use crate::result::SimResult;
+use crate::result::{duration_millis_saturating, duration_nanos_saturating, SimResult};
 use crate::runner::{run_system_guarded, RunControl, SystemKind};
 
 /// One point of the design-space grid: a system, the suite whose trace it
@@ -117,6 +117,24 @@ pub struct SweepOutcome {
     pub attempts: u32,
 }
 
+impl SweepOutcome {
+    /// The successful result, or a panic that names the grid point and
+    /// prints the typed [`SimError`] — what tests and examples should
+    /// reach for instead of `.result.as_ref().unwrap()`, which drops both
+    /// the job label and the error's kind from the failure message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job failed, with a message like
+    /// `job FFT/FU failed [timeout]: ...`.
+    pub fn expect_result(&self) -> &SimResult {
+        match &self.result {
+            Ok(res) => res,
+            Err(e) => panic!("job {} failed [{}]: {e}", self.job.label(), e.kind_label()),
+        }
+    }
+}
+
 /// Aggregate view of a finished sweep, for the CLI's failure report.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SweepSummary {
@@ -157,6 +175,73 @@ pub struct Watchdog {
     /// A deadline of `0` cancels every job at its first phase boundary —
     /// deterministic, and useful for testing the cancellation plumbing.
     pub wall_deadline_ms: Option<u64>,
+}
+
+/// Lifecycle of one grid point as the deadline monitor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StampState {
+    /// No worker has picked the job up yet.
+    Idle,
+    /// A worker started the job `since_ms` milliseconds after sweep
+    /// submission. Zero is a legal start time (a worker can claim a job
+    /// within the first millisecond).
+    Started { since_ms: u64 },
+    /// The job finished; the monitor must leave it alone.
+    Finished,
+}
+
+/// Atomic start stamp shared between a worker and the deadline monitor.
+///
+/// Replaces the earlier in-band sentinel encoding (`0` = idle,
+/// `u64::MAX` = finished, otherwise `1 + start_ms`) whose `+1` shift had
+/// to be undone with `s - 1` inside the monitor's deadline arithmetic —
+/// exactly the kind of offset that silently breaks for a 0-ms start.
+/// Here milliseconds are stored un-shifted; the two sentinels live at the
+/// top of the range where no realistic start time can reach, and
+/// [`StartStamp::start`] clamps pathological values below them.
+struct StartStamp(AtomicU64);
+
+const STAMP_IDLE: u64 = u64::MAX;
+const STAMP_FINISHED: u64 = u64::MAX - 1;
+
+impl StartStamp {
+    fn new() -> StartStamp {
+        StartStamp(AtomicU64::new(STAMP_IDLE))
+    }
+
+    /// Marks the job started `since_ms` milliseconds after submission.
+    fn start(&self, since_ms: u64) {
+        self.0
+            .store(since_ms.min(STAMP_FINISHED - 1), Ordering::Relaxed);
+    }
+
+    /// Marks the job finished, disarming the monitor for it.
+    fn finish(&self) {
+        self.0.store(STAMP_FINISHED, Ordering::Relaxed);
+    }
+
+    fn state(&self) -> StampState {
+        match self.0.load(Ordering::Relaxed) {
+            STAMP_IDLE => StampState::Idle,
+            STAMP_FINISHED => StampState::Finished,
+            since_ms => StampState::Started { since_ms },
+        }
+    }
+}
+
+/// `true` when a *started* job has been running strictly longer than
+/// `deadline_ms` as of `now_ms`. Idle and finished jobs never expire, and
+/// a job observed exactly at its deadline is still within budget.
+fn deadline_expired(state: StampState, now_ms: u64, deadline_ms: u64) -> bool {
+    matches!(state, StampState::Started { since_ms }
+        if now_ms.saturating_sub(since_ms) > deadline_ms)
+}
+
+/// Job-worker budget when every job may spin up `tile_threads` tile
+/// workers of its own: `workers × tile_threads` must not oversubscribe
+/// the `hw` hardware threads, but at least one job always runs.
+fn shared_pool_budget(hw: usize, tile_threads: usize) -> usize {
+    (hw / tile_threads.max(1)).max(1)
 }
 
 /// The full evaluation grid at one configuration: every system of
@@ -267,6 +352,7 @@ impl TraceCache {
 pub struct Sweep {
     scale: Scale,
     threads: Option<usize>,
+    tile_threads: usize,
     traces: Arc<TraceCache>,
     watchdog: Watchdog,
     retries: u32,
@@ -282,6 +368,7 @@ impl Sweep {
         Sweep {
             scale,
             threads: None,
+            tile_threads: 1,
             traces: Arc::new(TraceCache::new()),
             watchdog: Watchdog::default(),
             retries: 0,
@@ -295,6 +382,27 @@ impl Sweep {
     pub fn threads(mut self, threads: usize) -> Sweep {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Reserves `tile_threads` intra-run tile workers per job (clamped to
+    /// at least one; `1` means single-threaded replay, the default).
+    ///
+    /// The grid systems of [`full_grid`] are single-tile, so per-tile
+    /// parallelism never changes *their* results or runtime — the knob
+    /// exists so multi-tile consumers
+    /// ([`MultiTileSystem::run_parallel`](crate::systems::MultiTileSystem::run_parallel))
+    /// and the sweep share one thread budget: an auto-sized pool divides
+    /// `available_parallelism` by this factor so `workers × tile_threads`
+    /// never oversubscribes the machine. An explicit [`Sweep::threads`]
+    /// override is respected as given.
+    pub fn tile_threads(mut self, tile_threads: usize) -> Sweep {
+        self.tile_threads = tile_threads.max(1);
+        self
+    }
+
+    /// The per-job tile-worker reservation (always at least one).
+    pub fn tile_threads_per_job(&self) -> usize {
+        self.tile_threads
     }
 
     /// Shares an existing trace cache (so repeated sweeps — e.g. the
@@ -334,12 +442,18 @@ impl Sweep {
         self
     }
 
-    /// The worker count this sweep would use for `jobs` jobs.
+    /// The worker count this sweep would use for `jobs` jobs. Auto-sized
+    /// pools share the hardware budget with the per-job tile workers (see
+    /// [`Sweep::tile_threads`]); an explicit [`Sweep::threads`] override
+    /// wins unconditionally.
     pub fn pool_size(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        self.threads.unwrap_or(hw).min(jobs).max(1)
+        self.threads
+            .unwrap_or_else(|| shared_pool_budget(hw, self.tile_threads))
+            .min(jobs)
+            .max(1)
     }
 
     /// Runs every job and returns the outcomes in grid order.
@@ -360,21 +474,30 @@ impl Sweep {
         let workers = self.pool_size(jobs.len());
 
         // Phase 1: materialize each distinct trace exactly once, fanning
-        // the builds out over the same worker budget.
-        let mut distinct: Vec<SuiteId> = Vec::new();
-        for job in &jobs {
-            if !distinct.contains(&job.suite) {
-                distinct.push(job.suite);
-            }
-        }
-        let build_workers = workers.min(distinct.len());
+        // the builds out over the same worker budget, and pre-warm each
+        // job's trace post-processing (oracle DMA windows, forwarding
+        // pairs) so no timed replay region pays for analysis. Both caches
+        // dedupe, so repeated (suite, parameter) pairs cost one compute.
         let build_cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..build_workers {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = build_cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&suite) = distinct.get(i) else { break };
-                    self.traces.get(suite, self.scale);
+                    let Some(job) = jobs.get(i) else { break };
+                    let trace = self.traces.get(job.suite, self.scale);
+                    match job.system {
+                        SystemKind::Scratch => {
+                            let cap = job.config.scratchpad.capacity_bytes
+                                / fusion_types::CACHE_BLOCK_BYTES;
+                            trace.decoded.dma_windows(&trace.workload, cap);
+                        }
+                        SystemKind::FusionDx => {
+                            trace
+                                .decoded
+                                .forward_pairs(&trace.workload, job.config.l0x.blocks());
+                        }
+                        SystemKind::Shared | SystemKind::Fusion => {}
+                    }
                 });
             }
         });
@@ -389,11 +512,10 @@ impl Sweep {
         let slots: Vec<Mutex<Option<SweepOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         // Per-job cancellation flags (set by the deadline monitor, polled
-        // by the runs at phase boundaries) and start stamps for the
-        // monitor: 0 = not started, u64::MAX = finished, otherwise the
-        // start time as `1 + ms` since `submitted`.
+        // by the runs at phase boundaries) and per-job start stamps the
+        // monitor reads (see [`StartStamp`]).
         let cancels: Vec<AtomicBool> = jobs.iter().map(|_| AtomicBool::new(false)).collect();
-        let started: Vec<AtomicU64> = jobs.iter().map(|_| AtomicU64::new(0)).collect();
+        let started: Vec<StartStamp> = jobs.iter().map(|_| StartStamp::new()).collect();
         if self.watchdog.wall_deadline_ms == Some(0) {
             // Degenerate deadline: cancel up front instead of racing the
             // monitor, so the outcome is deterministic.
@@ -411,10 +533,9 @@ impl Sweep {
                 scope.spawn(move || {
                     while workers_done.load(Ordering::Acquire) < workers {
                         std::thread::sleep(std::time::Duration::from_millis(2));
-                        let now_ms = submitted.elapsed().as_millis() as u64;
+                        let now_ms = duration_millis_saturating(submitted.elapsed());
                         for (stamp, cancel) in started.iter().zip(cancels) {
-                            let s = stamp.load(Ordering::Relaxed);
-                            if s != 0 && s != u64::MAX && now_ms.saturating_sub(s - 1) > deadline {
+                            if deadline_expired(stamp.state(), now_ms, deadline) {
                                 cancel.store(true, Ordering::Relaxed);
                             }
                         }
@@ -429,11 +550,8 @@ impl Sweep {
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let queue_delay = submitted.elapsed().as_nanos() as u64;
-                        started[i].store(
-                            1 + submitted.elapsed().as_millis() as u64,
-                            Ordering::Relaxed,
-                        );
+                        let queue_delay = duration_nanos_saturating(submitted.elapsed());
+                        started[i].start(duration_millis_saturating(submitted.elapsed()));
 
                         let max_attempts = 1 + self.retries;
                         let mut attempts = 0u32;
@@ -456,7 +574,7 @@ impl Sweep {
                                 other => break other,
                             }
                         };
-                        started[i].store(u64::MAX, Ordering::Relaxed);
+                        started[i].finish();
 
                         if let Ok(res) = &mut result {
                             res.metrics.queue_delay_nanos = queue_delay;
@@ -591,6 +709,74 @@ mod tests {
     use fusion_types::error::TimeoutKind;
 
     #[test]
+    fn deadline_stamp_zero_ms_start_is_armed() {
+        // A job claimed within the first millisecond stamps `0` — under
+        // the old `1 + ms` sentinel encoding this was the case that
+        // collided with "not started". It must arm the monitor normally.
+        let s = StartStamp::new();
+        assert_eq!(s.state(), StampState::Idle);
+        assert!(
+            !deadline_expired(s.state(), u64::MAX, 0),
+            "idle never expires"
+        );
+        s.start(0);
+        assert_eq!(s.state(), StampState::Started { since_ms: 0 });
+        assert!(deadline_expired(s.state(), 6, 5));
+        s.finish();
+        assert_eq!(s.state(), StampState::Finished);
+        assert!(
+            !deadline_expired(s.state(), u64::MAX, 0),
+            "finished never expires"
+        );
+    }
+
+    #[test]
+    fn deadline_stamp_boundary_is_exclusive() {
+        // Started at 0 with a 5 ms deadline: at now == 5 the job has run
+        // for exactly the deadline and is still within budget; one
+        // millisecond later it expires.
+        let s = StartStamp::new();
+        s.start(0);
+        assert!(!deadline_expired(s.state(), 5, 5));
+        assert!(deadline_expired(s.state(), 6, 5));
+        // Same shape away from zero, and a monitor clock that lags the
+        // start stamp must saturate rather than underflow.
+        s.start(7);
+        assert!(!deadline_expired(s.state(), 12, 5));
+        assert!(deadline_expired(s.state(), 13, 5));
+        assert!(!deadline_expired(s.state(), 3, 0));
+        // Pathological stamps clamp below the sentinel range instead of
+        // masquerading as idle/finished.
+        s.start(u64::MAX);
+        assert!(matches!(s.state(), StampState::Started { .. }));
+    }
+
+    #[test]
+    fn tile_threads_share_the_auto_pool_budget() {
+        // workers × tile_threads stays within the hardware budget …
+        assert_eq!(shared_pool_budget(8, 1), 8);
+        assert_eq!(shared_pool_budget(8, 2), 4);
+        assert_eq!(shared_pool_budget(8, 3), 2);
+        // … but one job always runs, even on a starved machine.
+        assert_eq!(shared_pool_budget(1, 4), 1);
+        assert_eq!(
+            shared_pool_budget(4, 0),
+            4,
+            "zero clamps to one tile worker"
+        );
+        // An explicit thread override is respected as given.
+        let s = Sweep::new(Scale::Tiny).threads(5).tile_threads(4);
+        assert_eq!(s.pool_size(28), 5);
+        assert_eq!(s.tile_threads_per_job(), 4);
+        assert_eq!(
+            Sweep::new(Scale::Tiny)
+                .tile_threads(0)
+                .tile_threads_per_job(),
+            1
+        );
+    }
+
+    #[test]
     fn full_grid_covers_every_pair_in_order() {
         let jobs = full_grid(&SystemConfig::small());
         assert_eq!(jobs.len(), 28);
@@ -656,10 +842,7 @@ mod tests {
         ];
         let outcomes = Sweep::new(Scale::Tiny).run(jobs);
         assert_eq!(outcomes.len(), 3);
-        let results: Vec<&SimResult> = outcomes
-            .iter()
-            .map(|o| o.result.as_ref().unwrap())
-            .collect();
+        let results: Vec<&SimResult> = outcomes.iter().map(|o| o.expect_result()).collect();
         assert_eq!(results[0].system, "FUSION");
         assert_eq!(results[1].system, "SCRATCH");
         assert_eq!(results[2].system, "SHARED");

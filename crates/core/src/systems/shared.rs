@@ -17,6 +17,10 @@ use crate::systems::{charge_compute, EnergyMark};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SharedMeta {
     exclusive: bool,
+    /// When the full-line fill that installed this copy lands (mirrors the
+    /// `in_flight` entry so the hit path never probes the map; the map is
+    /// only consulted when the line is absent).
+    fill_full: Cycle,
 }
 
 /// The SHARED L1X: physically indexed (the tile shares the core-side view,
@@ -167,14 +171,18 @@ impl SharedSystem {
                         ledger.charge(Component::L1x, em.l1x_access);
                         let mut ready = bank_start + cfg.l1x.latency;
 
-                        if let Some(&fill_done) = in_flight.get(&pblock) {
-                            ready = ready.max(fill_done);
-                        }
                         let mut is_upgrade = false;
+                        // Carried through an upgrade so the reinserted line
+                        // keeps mirroring the (untouched) `in_flight` entry.
+                        let mut prev_fill = Cycle::ZERO;
                         let needs_fill = match l1x.cache.lookup(SharedL1x::PHYS_PID, pblock) {
                             Some(line) => {
+                                // Hit-under-miss: the line's own fill gate
+                                // replaces the per-ref `in_flight` probe.
+                                ready = ready.max(line.meta.fill_full);
                                 if is_write && !line.meta.exclusive {
                                     is_upgrade = true;
+                                    prev_fill = line.meta.fill_full;
                                     Some(MesiReq::GetX) // upgrade
                                 } else {
                                     if is_write {
@@ -183,11 +191,16 @@ impl SharedSystem {
                                     None
                                 }
                             }
-                            None => Some(if is_write {
-                                MesiReq::GetX
-                            } else {
-                                MesiReq::GetS
-                            }),
+                            None => {
+                                if let Some(&fill_done) = in_flight.get(&pblock) {
+                                    ready = ready.max(fill_done);
+                                }
+                                Some(if is_write {
+                                    MesiReq::GetX
+                                } else {
+                                    MesiReq::GetS
+                                })
+                            }
                         };
                         if let Some(req) = needs_fill {
                             ledger.charge_bytes(
@@ -220,21 +233,26 @@ impl SharedSystem {
                             // the first flit; the full line gates merged hits.
                             // An upgrade already holds the data: only the
                             // ownership acknowledgement comes back.
-                            if !is_upgrade {
+                            let fill_full = if !is_upgrade {
                                 let full = l2_ready
                                     + cfg.link_l1x_l2.transfer_cycles(CACHE_BLOCK_BYTES as u64);
                                 ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
                                 in_flight.insert(pblock, full);
+                                full
                             } else {
                                 ready = l2_ready + cfg.link_l1x_l2.transfer_cycles(8);
-                            }
+                                prev_fill
+                            };
                             // A GetS with no other sharer is granted E: the
                             // line may be upgraded to M silently later.
                             let exclusive = req == MesiReq::GetX || host.tile_owns(pa);
                             if let Some(victim) = l1x.cache.insert(
                                 SharedL1x::PHYS_PID,
                                 pblock,
-                                SharedMeta { exclusive },
+                                SharedMeta {
+                                    exclusive,
+                                    fill_full,
+                                },
                                 is_write,
                             ) {
                                 let vpa =

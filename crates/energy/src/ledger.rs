@@ -80,8 +80,25 @@ impl Component {
     }
 
     fn index(self) -> usize {
-        // lint:allow-unwrap — ALL enumerates every Component variant
-        Component::ALL.iter().position(|&c| c == self).unwrap()
+        // Must match the position in `ALL` (asserted by a unit test); a
+        // direct match keeps the ledger's per-event charge O(1) instead of
+        // scanning `ALL` on every charge.
+        match self {
+            Component::AxcCache => 0,
+            Component::L1x => 1,
+            Component::L2 => 2,
+            Component::HostL1 => 3,
+            Component::Memory => 4,
+            Component::LinkAxcL1xMsg => 5,
+            Component::LinkAxcL1xData => 6,
+            Component::LinkL1xL2Msg => 7,
+            Component::LinkL1xL2Data => 8,
+            Component::LinkL0xFwd => 9,
+            Component::Dma => 10,
+            Component::Tlb => 11,
+            Component::Rmap => 12,
+            Component::Compute => 13,
+        }
     }
 
     /// `true` for the components that belong to the memory system (the
@@ -274,6 +291,13 @@ impl fmt::Display for EnergyLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} index diverged from ALL order");
+        }
+    }
 
     #[test]
     fn charge_accumulates_energy_and_counts() {

@@ -54,9 +54,23 @@ pub struct Evicted<M> {
 /// The structure is purely a tag/metadata store — simulated programs never
 /// read data *values* through it (the workloads compute on real Rust memory
 /// and the simulator replays their address traces), so no data array is kept.
+///
+/// Storage is one flat `sets * ways` slot array (one allocation, fixed
+/// stride) instead of a `Vec` per set: replay-loop lookups walk contiguous
+/// memory and construction does not take a heap allocation per set. Within
+/// a set, occupied slots form a prefix whose order follows exactly the
+/// push/`swap_remove` discipline the per-set `Vec` had, so every
+/// order-sensitive observer (first-match `find`, stamp-tie victim choice,
+/// flush/iteration order) sees identical sequences.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<M> {
-    sets: Vec<Vec<Line<M>>>,
+    /// Flat `sets * ways` slots; set `s` owns `slots[s*ways..(s+1)*ways]`
+    /// and its occupied lines are the `lens[s]`-long prefix of that range.
+    slots: Vec<Option<Line<M>>>,
+    /// Occupancy per set.
+    lens: Vec<u32>,
+    sets: usize,
+    ways: usize,
     geometry: CacheGeometry,
     policy: ReplacementPolicy,
     tick: u64,
@@ -76,10 +90,12 @@ impl<M> SetAssocCache<M> {
         assert!(geometry.blocks() > 0, "cache must hold at least one block");
         assert!(geometry.ways > 0, "cache must have at least one way");
         let sets = geometry.sets();
+        let ways = geometry.ways;
         SetAssocCache {
-            sets: (0..sets)
-                .map(|_| Vec::with_capacity(geometry.ways))
-                .collect(),
+            slots: (0..sets * ways).map(|_| None).collect(),
+            lens: vec![0; sets],
+            sets,
+            ways,
             geometry,
             policy,
             tick: 0,
@@ -88,6 +104,18 @@ impl<M> SetAssocCache<M> {
             misses: 0,
             evictions: 0,
         }
+    }
+
+    /// The occupied lines of `set`, as a slice of slots.
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[Option<Line<M>>] {
+        &self.slots[set * self.ways..set * self.ways + self.lens[set] as usize]
+    }
+
+    /// The occupied lines of `set`, mutably.
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Option<Line<M>>] {
+        &mut self.slots[set * self.ways..set * self.ways + self.lens[set] as usize]
     }
 
     /// The cache geometry.
@@ -102,7 +130,7 @@ impl<M> SetAssocCache<M> {
     /// function; the `%` branch keeps odd geometries correct.
     #[inline]
     pub fn set_index(&self, block: BlockAddr) -> usize {
-        let sets = self.sets.len() as u64;
+        let sets = self.sets as u64;
         if sets.is_power_of_two() {
             (block.index() & (sets - 1)) as usize
         } else {
@@ -126,15 +154,18 @@ impl<M> SetAssocCache<M> {
         let tick = self.next_tick();
         let is_lru = self.policy == ReplacementPolicy::Lru;
         let set = self.set_index(block);
-        let found = self.sets[set]
-            .iter_mut()
-            .find(|l| l.block == block && l.pid == pid);
-        match found {
-            Some(line) => {
+        let base = set * self.ways;
+        let pos = self
+            .set_slice(set)
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|l| l.block == block && l.pid == pid));
+        match pos {
+            Some(p) => {
+                self.hits += 1;
+                let line = self.slots[base + p].as_mut().expect("occupied prefix slot"); // lint:allow-unwrap — position() found it
                 if is_lru {
                     line.stamp = tick;
                 }
-                self.hits += 1;
                 Some(line)
             }
             None => {
@@ -144,11 +175,74 @@ impl<M> SetAssocCache<M> {
         }
     }
 
+    /// Looks up a line like [`SetAssocCache::lookup`] — identical hit/miss
+    /// statistics and replacement effects — but returns the line's
+    /// `(set, slot)` coordinates instead of a reference, so callers can
+    /// revisit the line cheaply (see [`SetAssocCache::touch`]). The
+    /// coordinates stay valid until the next structural change to the set
+    /// (insert/invalidate/flush).
+    pub fn lookup_pos(&mut self, pid: Pid, block: BlockAddr) -> Option<(usize, usize)> {
+        let tick = self.next_tick();
+        let is_lru = self.policy == ReplacementPolicy::Lru;
+        let set = self.set_index(block);
+        let base = set * self.ways;
+        let pos = self
+            .set_slice(set)
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|l| l.block == block && l.pid == pid));
+        match pos {
+            Some(p) => {
+                self.hits += 1;
+                if is_lru {
+                    let line = self.slots[base + p].as_mut().expect("occupied prefix slot"); // lint:allow-unwrap — position() found it
+                    line.stamp = tick;
+                }
+                Some((set, p))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Repeats a hit on a known-resident line by coordinates from
+    /// [`SetAssocCache::lookup_pos`]: same tick/stamp/hit bookkeeping as a
+    /// [`SetAssocCache::lookup`] that found the line.
+    #[inline]
+    pub fn touch(&mut self, set: usize, pos: usize) {
+        let tick = self.next_tick();
+        self.hits += 1;
+        if self.policy == ReplacementPolicy::Lru {
+            let line = self.slots[set * self.ways + pos]
+                .as_mut()
+                .expect("touch on occupied slot"); // lint:allow-unwrap — caller holds coordinates from lookup_pos
+            line.stamp = tick;
+        }
+    }
+
+    /// The line at coordinates from [`SetAssocCache::lookup_pos`].
+    #[inline]
+    pub fn line_at(&self, set: usize, pos: usize) -> &Line<M> {
+        self.slots[set * self.ways + pos]
+            .as_ref()
+            .expect("line_at on occupied slot") // lint:allow-unwrap — caller holds coordinates from lookup_pos
+    }
+
+    /// The line at coordinates from [`SetAssocCache::lookup_pos`], mutably.
+    #[inline]
+    pub fn line_at_mut(&mut self, set: usize, pos: usize) -> &mut Line<M> {
+        self.slots[set * self.ways + pos]
+            .as_mut()
+            .expect("line_at_mut on occupied slot") // lint:allow-unwrap — caller holds coordinates from lookup_pos
+    }
+
     /// Checks for a line without touching replacement or statistics.
     pub fn probe(&self, pid: Pid, block: BlockAddr) -> Option<&Line<M>> {
         let set = self.set_index(block);
-        self.sets[set]
+        self.set_slice(set)
             .iter()
+            .filter_map(|s| s.as_ref())
             .find(|l| l.block == block && l.pid == pid)
     }
 
@@ -157,8 +251,9 @@ impl<M> SetAssocCache<M> {
     /// handling).
     pub fn probe_mut(&mut self, pid: Pid, block: BlockAddr) -> Option<&mut Line<M>> {
         let set = self.set_index(block);
-        self.sets[set]
+        self.set_slice_mut(set)
             .iter_mut()
+            .filter_map(|s| s.as_mut())
             .find(|l| l.block == block && l.pid == pid)
     }
 
@@ -175,8 +270,10 @@ impl<M> SetAssocCache<M> {
     ) -> Option<Evicted<M>> {
         let tick = self.next_tick();
         let set = self.set_index(block);
-        if let Some(line) = self.sets[set]
+        if let Some(line) = self
+            .set_slice_mut(set)
             .iter_mut()
+            .filter_map(|s| s.as_mut())
             .find(|l| l.block == block && l.pid == pid)
         {
             line.meta = meta;
@@ -184,9 +281,14 @@ impl<M> SetAssocCache<M> {
             line.stamp = tick;
             return None;
         }
-        let victim = if self.sets[set].len() >= self.geometry.ways {
+        let len = self.lens[set] as usize;
+        let base = set * self.ways;
+        let victim = if len >= self.ways {
             let way = self.choose_victim(set);
-            let old = self.sets[set].swap_remove(way);
+            // swap_remove: the last occupied slot fills the hole.
+            let old = self.slots[base + way].take().expect("occupied prefix slot"); // lint:allow-unwrap — slots below lens[set] are occupied by construction
+            self.slots.swap(base + way, base + len - 1);
+            self.lens[set] -= 1;
             self.evictions += 1;
             Some(Evicted {
                 pid: old.pid,
@@ -197,23 +299,30 @@ impl<M> SetAssocCache<M> {
         } else {
             None
         };
-        self.sets[set].push(Line {
+        let len = self.lens[set] as usize;
+        self.slots[base + len] = Some(Line {
             pid,
             block,
             dirty,
             meta,
             stamp: tick,
         });
+        self.lens[set] += 1;
         victim
     }
 
     /// Removes a line (coherence invalidation), returning it if present.
     pub fn invalidate(&mut self, pid: Pid, block: BlockAddr) -> Option<Evicted<M>> {
         let set = self.set_index(block);
-        let pos = self.sets[set]
+        let pos = self
+            .set_slice(set)
             .iter()
-            .position(|l| l.block == block && l.pid == pid)?;
-        let old = self.sets[set].swap_remove(pos);
+            .position(|s| s.as_ref().is_some_and(|l| l.block == block && l.pid == pid))?;
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let old = self.slots[base + pos].take().expect("occupied prefix slot"); // lint:allow-unwrap — position() found it
+        self.slots.swap(base + pos, base + len - 1);
+        self.lens[set] -= 1;
         Some(Evicted {
             pid: old.pid,
             block: old.block,
@@ -224,8 +333,11 @@ impl<M> SetAssocCache<M> {
 
     /// Removes every line, invoking `f` on each (bulk flush / PID teardown).
     pub fn flush_with(&mut self, mut f: impl FnMut(Evicted<M>)) {
-        for set in &mut self.sets {
-            for old in set.drain(..) {
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            let len = self.lens[set] as usize;
+            for slot in &mut self.slots[base..base + len] {
+                let old = slot.take().expect("occupied prefix slot"); // lint:allow-unwrap — slots below lens[set] are occupied
                 f(Evicted {
                     pid: old.pid,
                     block: old.block,
@@ -233,28 +345,37 @@ impl<M> SetAssocCache<M> {
                     meta: old.meta,
                 });
             }
+            self.lens[set] = 0;
         }
     }
 
     /// Iterates all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = &Line<M>> {
-        self.sets.iter().flat_map(|s| s.iter())
+        (0..self.sets).flat_map(move |s| self.set_slice(s).iter().filter_map(|s| s.as_ref()))
     }
 
     /// Iterates all resident lines mutably (protocol sweeps).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Line<M>> {
-        self.sets.iter_mut().flat_map(|s| s.iter_mut())
+        let ways = self.ways;
+        let lens = &self.lens;
+        self.slots
+            .chunks_mut(ways)
+            .zip(lens.iter())
+            .flat_map(|(chunk, &len)| chunk[..len as usize].iter_mut())
+            .filter_map(|s| s.as_mut())
     }
 
     /// Iterates the lines of the set holding `block` mutably.
     pub fn iter_set_mut(&mut self, block: BlockAddr) -> impl Iterator<Item = &mut Line<M>> {
         let set = self.set_index(block);
-        self.sets[set].iter_mut()
+        self.set_slice_mut(set)
+            .iter_mut()
+            .filter_map(|s| s.as_mut())
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// `true` when no lines are resident.
@@ -286,10 +407,12 @@ impl<M> SetAssocCache<M> {
         match self.policy {
             // Both LRU and FIFO evict the smallest stamp: LRU refreshes the
             // stamp on hit, FIFO does not.
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.sets[set]
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
+                .set_slice(set)
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
+                .filter_map(|(i, s)| s.as_ref().map(|l| (i, l.stamp)))
+                .min_by_key(|&(_, stamp)| stamp)
                 .map(|(i, _)| i)
                 // lint:allow-unwrap — sets have at least one way by construction
                 .expect("victim selection on non-empty set"),
@@ -300,7 +423,7 @@ impl<M> SetAssocCache<M> {
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rng_state = x;
-                (x.wrapping_mul(0x2545f4914f6cdd1d) % self.sets[set].len() as u64) as usize
+                (x.wrapping_mul(0x2545f4914f6cdd1d) % self.lens[set] as u64) as usize
             }
         }
     }

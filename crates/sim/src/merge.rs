@@ -1,0 +1,120 @@
+//! Deterministic merging of per-source event logs at arbitration points.
+//!
+//! Tile-parallel replay (DESIGN.md §12) lets every tile advance on a
+//! private clock between arbitration points, each appending host-side
+//! events to a private log. At the arbitration point the logs merge into
+//! one canonical stream ordered by **(source index, append sequence)** —
+//! a pure function of the logs' contents, never of thread completion
+//! order. The same rule serves the sequential fallback path, which is how
+//! `parallel == sequential` bit-identity is proven rather than hoped for.
+
+use fusion_types::Cycle;
+
+/// The arbitration-point barrier: all sources resynchronize at the
+/// latest private completion time. Returns [`Cycle::ZERO`] for an empty
+/// set (no source ran, the shared clock does not move).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::merge::barrier;
+/// use fusion_types::Cycle;
+///
+/// let ends = [Cycle::new(7), Cycle::new(3)];
+/// assert_eq!(barrier(ends), Cycle::new(7));
+/// assert_eq!(barrier([]), Cycle::ZERO);
+/// ```
+pub fn barrier(ends: impl IntoIterator<Item = Cycle>) -> Cycle {
+    ends.into_iter().max().unwrap_or(Cycle::ZERO)
+}
+
+/// Per-source event logs, merged in `(source, sequence)` order.
+///
+/// Sources append to their own log with no synchronization (each log is
+/// owned by exactly one worker between arbitration points); the merged
+/// iteration order is fixed by construction.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::merge::SourceLogs;
+///
+/// let logs = SourceLogs::from_parts(vec![vec!['a', 'b'], vec!['c']]);
+/// let merged: Vec<(usize, char)> = logs.into_ordered().collect();
+/// assert_eq!(merged, [(0, 'a'), (0, 'b'), (1, 'c')]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceLogs<E> {
+    logs: Vec<Vec<E>>,
+}
+
+impl<E> SourceLogs<E> {
+    /// Wraps already-collected per-source logs. `logs[i]` is source `i`'s
+    /// append-ordered event list.
+    pub fn from_parts(logs: Vec<Vec<E>>) -> Self {
+        SourceLogs { logs }
+    }
+
+    /// Total events across all sources.
+    pub fn len(&self) -> usize {
+        self.logs.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no source logged anything.
+    pub fn is_empty(&self) -> bool {
+        self.logs.iter().all(Vec::is_empty)
+    }
+
+    /// Consumes the logs, yielding `(source, event)` in the canonical
+    /// merge order: ascending source index, then append order within a
+    /// source.
+    pub fn into_ordered(self) -> impl Iterator<Item = (usize, E)> {
+        self.logs
+            .into_iter()
+            .enumerate()
+            .flat_map(|(src, log)| log.into_iter().map(move |e| (src, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_is_max_of_ends() {
+        assert_eq!(
+            barrier([Cycle::new(3), Cycle::new(9), Cycle::new(4)]),
+            Cycle::new(9)
+        );
+        assert_eq!(barrier([Cycle::new(5)]), Cycle::new(5));
+        assert_eq!(barrier([]), Cycle::ZERO);
+    }
+
+    #[test]
+    fn merge_order_is_source_then_sequence() {
+        let logs = SourceLogs::from_parts(vec![vec![10, 11], vec![], vec![30, 31, 32]]);
+        assert_eq!(logs.len(), 5);
+        assert!(!logs.is_empty());
+        let merged: Vec<(usize, i32)> = logs.into_ordered().collect();
+        assert_eq!(merged, [(0, 10), (0, 11), (2, 30), (2, 31), (2, 32)]);
+    }
+
+    #[test]
+    fn merge_order_ignores_event_payload_times() {
+        // The rule is (source, sequence) — NOT event timestamps. Two
+        // interleavings of the same logs always merge identically.
+        let a = SourceLogs::from_parts(vec![vec![99, 1], vec![50]]);
+        let b = SourceLogs::from_parts(vec![vec![99, 1], vec![50]]);
+        let ma: Vec<_> = a.into_ordered().collect();
+        let mb: Vec<_> = b.into_ordered().collect();
+        assert_eq!(ma, mb);
+        assert_eq!(ma, [(0, 99), (0, 1), (1, 50)]);
+    }
+
+    #[test]
+    fn empty_logs_merge_to_nothing() {
+        let logs: SourceLogs<u8> = SourceLogs::from_parts(vec![vec![], vec![]]);
+        assert!(logs.is_empty());
+        assert_eq!(logs.into_ordered().count(), 0);
+    }
+}

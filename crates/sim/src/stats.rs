@@ -93,6 +93,23 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` samples of the same value — equivalent to calling
+    /// [`Histogram::record`] `n` times (hot loops with a constant latency,
+    /// e.g. scratchpad replay, batch one call per window).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bucket = (64 - value.max(1).leading_zeros() as usize).saturating_sub(1);
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count

@@ -23,6 +23,17 @@ pub enum SuiteId {
 }
 
 impl SuiteId {
+    /// All seven suites, in Table 1 order.
+    pub const ALL: [SuiteId; 7] = [
+        SuiteId::Fft,
+        SuiteId::Disparity,
+        SuiteId::Tracking,
+        SuiteId::Adpcm,
+        SuiteId::Susan,
+        SuiteId::Filter,
+        SuiteId::Histogram,
+    ];
+
     /// Paper abbreviation used in figures ("FFT", "DISP.", ...).
     pub fn label(self) -> &'static str {
         match self {

@@ -1,0 +1,144 @@
+//! Tile-parallel replay determinism (DESIGN.md §12).
+//!
+//! The multi-tile system replays every tile's phase against a private
+//! host copy between arbitration points and commits the host-interaction
+//! logs in canonical (tile index, event sequence) order. Both the
+//! sequential and the parallel path execute the identical algorithm, so
+//! the thread count must change *nothing* — proven here as byte-identical
+//! stats JSON across 1, 2 and 4 tile workers, and exercised under the
+//! watchdog controls (a cancellation must surface as a typed
+//! `SimError::Timeout` from every path, never as a worker panic).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use fusion_core::systems::MultiTileSystem;
+use fusion_core::RunControl;
+use fusion_types::error::{SimError, TimeoutKind};
+use fusion_types::SystemConfig;
+use fusion_workloads::{build_suite, Scale, SuiteId};
+
+fn mixed_workloads(scale: Scale) -> Vec<fusion_accel::Workload> {
+    [
+        SuiteId::Adpcm,
+        SuiteId::Susan,
+        SuiteId::Filter,
+        SuiteId::Tracking,
+    ]
+    .into_iter()
+    .map(|s| build_suite(s, scale))
+    .collect()
+}
+
+#[test]
+fn parallel_tiles_match_sequential_tiles_byte_identically() {
+    let wls = mixed_workloads(Scale::Tiny);
+    let cfg = SystemConfig::small();
+    let sequential = MultiTileSystem::new(&cfg).run_parallel(&wls, 1);
+    for threads in [2, 3, 4, 8] {
+        let parallel = MultiTileSystem::new(&cfg).run_parallel(&wls, threads);
+        assert_eq!(parallel.len(), sequential.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                s.to_json(),
+                p.to_json(),
+                "tile-parallel replay diverged at {threads} threads for {}",
+                s.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_tiles_deterministic_across_repeat_runs() {
+    // Same thread count, repeated runs: thread scheduling must never
+    // leak into the stats.
+    let wls = mixed_workloads(Scale::Tiny);
+    let cfg = SystemConfig::small();
+    let first = MultiTileSystem::new(&cfg).run_parallel(&wls, 4);
+    for _ in 0..3 {
+        let again = MultiTileSystem::new(&cfg).run_parallel(&wls, 4);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+}
+
+#[test]
+fn single_workload_parallel_path_matches_sequential() {
+    // Degenerate parallelism: one tile, many workers — the chunked
+    // dispatch must not disturb anything.
+    let wls = vec![build_suite(SuiteId::Fft, Scale::Tiny)];
+    let cfg = SystemConfig::small();
+    let seq = MultiTileSystem::new(&cfg).run_parallel(&wls, 1);
+    let par = MultiTileSystem::new(&cfg).run_parallel(&wls, 4);
+    assert_eq!(seq[0].to_json(), par[0].to_json());
+}
+
+#[test]
+fn cancel_mid_run_reports_timeout_on_both_paths() {
+    // Satellite: a wall-clock cancellation raised while tile workers are
+    // replaying must stop all of them at the next arbitration point and
+    // surface as the typed Timeout — never as a worker panic
+    // (JobPanicked is reserved for real bugs).
+    let wls = mixed_workloads(Scale::Tiny);
+    let cfg = SystemConfig::small();
+    for threads in [1, 4] {
+        let cancel = AtomicBool::new(true);
+        let ctl = RunControl {
+            label: "mt-cancel",
+            max_sim_cycles: None,
+            cancel: Some(&cancel),
+            wall_deadline_ms: 7,
+        };
+        let err = MultiTileSystem::new(&cfg)
+            .run_guarded(&wls, &ctl, threads)
+            .expect_err("armed cancellation must abort the run");
+        match err {
+            SimError::Timeout { job, kind, limit } => {
+                assert_eq!(job, "mt-cancel");
+                assert_eq!(kind, TimeoutKind::WallClock);
+                assert_eq!(limit, 7);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(cancel.load(Ordering::Relaxed));
+    }
+}
+
+#[test]
+fn sim_cycle_budget_reports_timeout_on_both_paths() {
+    let wls = mixed_workloads(Scale::Tiny);
+    let cfg = SystemConfig::small();
+    for threads in [1, 4] {
+        let ctl = RunControl {
+            label: "mt-budget",
+            max_sim_cycles: Some(1),
+            cancel: None,
+            wall_deadline_ms: 0,
+        };
+        let err = MultiTileSystem::new(&cfg)
+            .run_guarded(&wls, &ctl, threads)
+            .expect_err("a 1-cycle budget must abort the run");
+        assert!(
+            matches!(
+                err,
+                SimError::Timeout {
+                    kind: TimeoutKind::SimCycleBudget,
+                    limit: 1,
+                    ..
+                }
+            ),
+            "expected SimCycleBudget timeout, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn guarded_run_without_watchdogs_completes() {
+    let wls = mixed_workloads(Scale::Tiny);
+    let cfg = SystemConfig::small();
+    let results = MultiTileSystem::new(&cfg)
+        .run_guarded(&wls, &RunControl::default(), 2)
+        .expect("unguarded run cannot time out");
+    assert_eq!(results.len(), wls.len());
+}
