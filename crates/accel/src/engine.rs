@@ -2,7 +2,7 @@
 
 use fusion_types::Cycle;
 
-use crate::trace::MemRef;
+use crate::trace::{KindRun, MemRef};
 
 /// Timing summary of one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,48 +83,121 @@ pub fn run_phase_indexed(
     start: Cycle,
     mut access: impl FnMut(usize, Cycle) -> Cycle,
 ) -> PhaseTiming {
-    assert!(mlp > 0, "memory-level parallelism must be at least 1");
-    let mut now = start;
+    let mut issuer = MlpIssuer::new(mlp, start);
+    for i in 0..len {
+        let at = issuer.advance(gap_of(i));
+        let done = access(i, at);
+        issuer.complete(done);
+    }
+    issuer.finish(len as u64)
+}
+
+/// [`run_phase_indexed`] driven by precomputed same-kind chunks
+/// ([`KindRun`], from [`crate::trace::DecodedTrace::phase_kind_runs`]):
+/// the timing model is identical — references still issue in program
+/// order, one per issue slot — but the load/store dispatch happens once
+/// per *run* instead of once per reference. `access` receives the
+/// run-constant `is_write` as its third argument, so the data-dependent
+/// per-ref kind lookup (and its unpredictable branch) vanishes from the
+/// hot loop; what remains branches the same way for the whole chunk.
+///
+/// `runs` must tile `[0, len)` exactly, in order — debug-asserted.
+///
+/// # Panics
+///
+/// Panics if `mlp` is zero.
+pub fn run_phase_kind_runs(
+    len: usize,
+    mut gap_of: impl FnMut(usize) -> u16,
+    mlp: usize,
+    start: Cycle,
+    runs: impl IntoIterator<Item = KindRun>,
+    mut access: impl FnMut(usize, Cycle, bool) -> Cycle,
+) -> PhaseTiming {
+    let mut issuer = MlpIssuer::new(mlp, start);
+    let mut covered = 0usize;
+    for run in runs {
+        debug_assert_eq!(run.start, covered, "kind runs must tile the phase");
+        let is_write = run.is_write;
+        for i in run.start..run.end() {
+            let at = issuer.advance(gap_of(i));
+            let done = access(i, at, is_write);
+            issuer.complete(done);
+        }
+        covered = run.end();
+    }
+    debug_assert_eq!(covered, len, "kind runs must cover every reference");
+    issuer.finish(len as u64)
+}
+
+/// The issue engine's mutable core, shared by every replay entry point so
+/// MemRef, indexed and kind-run replays stay bit-identical: program-order
+/// issue separated by compute gaps, out-of-order completion, at most
+/// `mlp` references outstanding.
+struct MlpIssuer {
+    mlp: usize,
+    now: Cycle,
+    start: Cycle,
     // At most `mlp` completions are ever outstanding (Table 1 caps MLP at
     // ~6), so a flat vector with linear min-scan beats a binary heap here.
     // Only completion *values* matter — ties pop in either order with the
     // same effect — so timing is identical to the heap formulation.
-    let mut outstanding: Vec<Cycle> = Vec::with_capacity(mlp);
-    let mut last_completion = start;
-    let mut mlp_stalls = 0u64;
+    outstanding: Vec<Cycle>,
+    last_completion: Cycle,
+    mlp_stalls: u64,
+}
 
-    for i in 0..len {
-        // Compute gap between the previous reference and this one.
-        now += gap_of(i) as u64;
-        // Block on MLP: wait for the earliest outstanding completion.
-        // Already-finished entries pop out of this loop for free (min <=
-        // now adds no stall), so no separate retire pass is needed.
-        while outstanding.len() >= mlp {
+impl MlpIssuer {
+    fn new(mlp: usize, start: Cycle) -> MlpIssuer {
+        assert!(mlp > 0, "memory-level parallelism must be at least 1");
+        MlpIssuer {
+            mlp,
+            now: start,
+            start,
+            outstanding: Vec::with_capacity(mlp),
+            last_completion: start,
+            mlp_stalls: 0,
+        }
+    }
+
+    /// Applies the compute gap and blocks on MLP; returns the issue time.
+    /// Already-finished entries pop out of the wait loop for free (min <=
+    /// now adds no stall), so no separate retire pass is needed.
+    #[inline]
+    fn advance(&mut self, gap: u16) -> Cycle {
+        self.now += gap as u64;
+        while self.outstanding.len() >= self.mlp {
             let mut min_idx = 0;
-            for (j, &t) in outstanding.iter().enumerate() {
-                if t < outstanding[min_idx] {
+            for (j, &t) in self.outstanding.iter().enumerate() {
+                if t < self.outstanding[min_idx] {
                     min_idx = j;
                 }
             }
-            let t = outstanding.swap_remove(min_idx);
-            if t > now {
-                mlp_stalls += t - now;
-                now = t;
+            let t = self.outstanding.swap_remove(min_idx);
+            if t > self.now {
+                self.mlp_stalls += t - self.now;
+                self.now = t;
             }
         }
-        let done = access(i, now);
-        debug_assert!(done >= now, "memory cannot complete in the past");
-        last_completion = last_completion.max(done);
-        outstanding.push(done);
-        // One issue slot per reference.
-        now += 1;
+        self.now
     }
 
-    PhaseTiming {
-        start,
-        end: now.max(last_completion),
-        issued: len as u64,
-        mlp_stall_cycles: mlp_stalls,
+    /// Books the reference's completion and consumes its issue slot.
+    #[inline]
+    fn complete(&mut self, done: Cycle) {
+        debug_assert!(done >= self.now, "memory cannot complete in the past");
+        self.last_completion = self.last_completion.max(done);
+        self.outstanding.push(done);
+        self.now += 1;
+    }
+
+    fn finish(self, issued: u64) -> PhaseTiming {
+        PhaseTiming {
+            start: self.start,
+            end: self.now.max(self.last_completion),
+            issued,
+            mlp_stall_cycles: self.mlp_stalls,
+        }
     }
 }
 

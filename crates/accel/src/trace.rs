@@ -187,6 +187,10 @@ pub struct DecodedTrace {
     phase_offsets: Vec<usize>,
     // op_prefix[i] = summed op counts of phases 0..i; len = phases+1.
     op_prefix: Vec<OpCounts>,
+    // Kind-sorted chunking: maximal same-kind runs of each phase, flat,
+    // with run_offsets[i]..run_offsets[i+1] phase i's slice; len = phases+1.
+    kind_runs: Vec<KindRun>,
+    run_offsets: Vec<usize>,
     analysis: AnalysisCache,
 }
 
@@ -199,10 +203,56 @@ impl Clone for DecodedTrace {
             set_hints: self.set_hints.clone(),
             phase_offsets: self.phase_offsets.clone(),
             op_prefix: self.op_prefix.clone(),
+            kind_runs: self.kind_runs.clone(),
+            run_offsets: self.run_offsets.clone(),
             // Derived data: the clone re-computes (or re-shares) on demand.
             analysis: AnalysisCache::default(),
         }
     }
+}
+
+/// A maximal run of consecutive same-kind references within one phase
+/// (positions are phase-local). Precomputed at decode time so the replay
+/// loops dispatch per *run* instead of testing the kind per reference —
+/// the branch that remains inside the hot loop becomes run-constant and
+/// therefore perfectly predicted ([`crate::engine::run_phase_kind_runs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindRun {
+    /// First reference of the run, relative to the phase start.
+    pub start: usize,
+    /// Number of references in the run (always at least 1).
+    pub len: usize,
+    /// `true` when every reference in the run is a store.
+    pub is_write: bool,
+}
+
+impl KindRun {
+    /// One-past-the-end position of the run.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Clips phase-local `runs` to the window `[lo, hi)` and rebases them to
+/// window-local positions — the SCRATCH replay slices each oracle DMA
+/// window out of its phase and indexes from the window start.
+pub fn clip_kind_runs(
+    runs: &[KindRun],
+    lo: usize,
+    hi: usize,
+) -> impl Iterator<Item = KindRun> + '_ {
+    runs.iter()
+        .filter(move |r| r.end() > lo && r.start < hi)
+        .map(move |r| {
+            let s = r.start.max(lo);
+            let e = r.end().min(hi);
+            KindRun {
+                start: s - lo,
+                len: e - s,
+                is_write: r.is_write,
+            }
+        })
 }
 
 /// Memoized trace post-processing, keyed by the configuration parameter
@@ -234,6 +284,9 @@ impl DecodedTrace {
         let mut op_prefix = Vec::with_capacity(workload.phases.len() + 1);
         phase_offsets.push(0);
         op_prefix.push(OpCounts::default());
+        let mut kind_runs = Vec::new();
+        let mut run_offsets = Vec::with_capacity(workload.phases.len() + 1);
+        run_offsets.push(0);
         let mut ops = OpCounts::default();
         for p in &workload.phases {
             for r in &p.refs {
@@ -245,6 +298,22 @@ impl DecodedTrace {
                 // recovers its set index by masking this hint.
                 set_hints.push(b.index() as u32);
             }
+            // Run-length-encode the phase's kinds into maximal same-kind
+            // chunks (phase-local positions).
+            let mut j = 0usize;
+            while j < p.refs.len() {
+                let is_write = p.refs[j].kind.is_write();
+                let start = j;
+                while j < p.refs.len() && p.refs[j].kind.is_write() == is_write {
+                    j += 1;
+                }
+                kind_runs.push(KindRun {
+                    start,
+                    len: j - start,
+                    is_write,
+                });
+            }
+            run_offsets.push(kind_runs.len());
             phase_offsets.push(blocks.len());
             ops += p.ops;
             op_prefix.push(ops);
@@ -256,6 +325,8 @@ impl DecodedTrace {
             set_hints,
             phase_offsets,
             op_prefix,
+            kind_runs,
+            run_offsets,
             analysis: AnalysisCache::default(),
         }
     }
@@ -336,6 +407,16 @@ impl DecodedTrace {
             gaps: &self.gaps[lo..hi],
             set_hints: &self.set_hints[lo..hi],
         }
+    }
+
+    /// The precomputed same-kind runs of phase `idx` (phase-local
+    /// positions), for [`crate::engine::run_phase_kind_runs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= phase_count()`.
+    pub fn phase_kind_runs(&self, idx: usize) -> &[KindRun] {
+        &self.kind_runs[self.run_offsets[idx]..self.run_offsets[idx + 1]]
     }
 
     /// Op counts of phase `idx` (recovered from the prefix sums).

@@ -37,7 +37,7 @@ use std::process::ExitCode;
 
 use fusion_accel::{io as trace_io, Workload};
 use fusion_core::{
-    full_grid, run_system, FaultPlan, SimResult, Sweep, SweepJob, SweepOutcome, SweepSummary,
+    design_grid, run_system, FaultPlan, SimResult, Sweep, SweepJob, SweepOutcome, SweepSummary,
     SystemKind, Watchdog,
 };
 use fusion_energy::Component;
@@ -53,7 +53,7 @@ sim trace   --suite <...> [--scale ...] --out <file>\n  \
 sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n              \
 [--lease-renewal] [--prefetch <N>]\n  \
 sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]\n  \
-sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json]\n              \
+sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json] [--no-memo]\n              \
 [robustness flags] [config flags]\n  \
 sim verify  [--protocol <acc|acc-dx|acc-renew|mesi|all>] [--agents <N>] [--blocks <N>]\n              \
 [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]\n              \
@@ -86,12 +86,13 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 /// Options that stand alone (no value follows).
-const FLAG_KEYS: [&str; 6] = [
+const FLAG_KEYS: [&str; 7] = [
     "json",
     "large",
     "write-through",
     "lease-renewal",
     "fail-fast",
+    "no-memo",
     "expect-violation",
 ];
 /// Options that consume the next argument as their value.
@@ -244,6 +245,7 @@ fn sweep_from(scale: Scale, args: &Args, jobs: usize) -> Result<Sweep, String> {
         sweep = sweep.retries(n as u32);
     }
     sweep = sweep.fail_fast(args.flag("fail-fast"));
+    sweep = sweep.memo(!args.flag("no-memo"));
     let watchdog = Watchdog {
         max_sim_cycles: args.numeric("budget")?.map(|n| n as u64),
         wall_deadline_ms: args.numeric("deadline-ms")?.map(|n| n as u64),
@@ -402,10 +404,11 @@ fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<bool, String> {
     Ok(report_failures(&outcomes, expected))
 }
 
-/// `sweep`: the full 4-system × 7-suite grid over the worker pool.
+/// `sweep`: the design grid — the 4-system × 7-suite base plus the
+/// L0X- and scratchpad-capacity axes (DESIGN.md §13) — over the pool.
 fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let cfg = config_from(args)?;
-    let jobs = full_grid(&cfg);
+    let jobs = design_grid(&cfg);
     let expected = jobs.len();
     let sweep = sweep_from(scale, args, expected)?;
     let pool = sweep.pool_size(jobs.len());
@@ -413,10 +416,13 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let started = std::time::Instant::now();
     let outcomes = sweep.run(jobs);
     let total = started.elapsed();
+    let memo_stats = sweep.memo_stats();
     if args.flag("json") {
         // One JSON object per grid point; for completed jobs the "result"
         // payload is exactly what `sim run --json` prints for the same
         // (system, suite, config); failed jobs carry an "error" object.
+        // "config" names the capacity variant ("base" on the base grid),
+        // "memo" how the phase memo served the job (off|miss|hit|fallback).
         println!("[");
         for (i, o) in outcomes.iter().enumerate() {
             let tail = if i + 1 < outcomes.len() { "," } else { "" };
@@ -424,26 +430,31 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
                 Ok(res) => {
                     let m = res.metrics;
                     println!(
-                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"tile_threads\":{tile_threads},\
+                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
+                         \"tile_threads\":{tile_threads},\
                          \"wall_ms\":{:.3},\
                          \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
-                         \"refs_per_sec\":{:.0},\"result\":{}}}{tail}",
+                         \"refs_per_sec\":{:.0},\"memo\":\"{}\",\"result\":{}}}{tail}",
                         o.job.suite.label(),
                         o.job.system.label(),
+                        o.job.variant,
                         m.wall_time().as_secs_f64() * 1e3,
                         m.queue_delay().as_secs_f64() * 1e3,
                         m.sim_events,
                         m.refs_simulated,
                         m.refs_per_sec(),
+                        o.memo.mark.label(),
                         res.to_json(),
                     );
                 }
                 Err(e) => {
                     println!(
-                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"attempts\":{},\
+                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
+                         \"attempts\":{},\
                          \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}{tail}",
                         o.job.suite.label(),
                         o.job.system.label(),
+                        o.job.variant,
                         o.attempts,
                         e.kind_label(),
                         json_escape(&e.to_string()),
@@ -455,16 +466,17 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
         return Ok(report_failures(&outcomes, expected));
     }
     println!(
-        "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9} {:>9}",
-        "suite", "system", "cycles", "cache energy", "events", "wall ms", "queue ms"
+        "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9} {:>9}",
+        "suite", "system", "config", "cycles", "cache energy", "events", "wall ms", "queue ms"
     );
     for o in &outcomes {
         let Ok(res) = &o.result else { continue };
         let m = res.metrics;
         println!(
-            "{:<12} {:<10} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
+            "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
             o.job.suite.label(),
             o.job.system.label(),
+            o.job.variant,
             res.total_cycles,
             res.cache_energy().to_string(),
             m.sim_events,
@@ -488,6 +500,18 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
         busy as f64 / total.as_nanos().max(1) as f64,
         refs as f64 * 1e3 / total.as_nanos().max(1) as f64,
     );
+    let lookups = memo_stats.hits + memo_stats.misses + memo_stats.digest_fallbacks;
+    if lookups > 0 {
+        println!(
+            "memo: {}/{lookups} hits ({:.0}%), {} digest fallback(s), \
+             {} phase(s) spliced / {} replayed",
+            memo_stats.hits,
+            memo_stats.hit_rate() * 100.0,
+            memo_stats.digest_fallbacks,
+            memo_stats.phases_spliced,
+            memo_stats.phases_replayed,
+        );
+    }
     Ok(report_failures(&outcomes, expected))
 }
 
@@ -847,6 +871,7 @@ mod tests {
             "--blocks",
             "--horizon",
             "--fault",
+            "--no-memo",
             "--expect-violation",
             "--max-states",
             "exit codes",

@@ -40,16 +40,20 @@
 
 pub mod faults;
 pub mod host;
+pub mod memo;
 pub mod result;
 pub mod runner;
 pub mod sweep;
 pub mod systems;
 
 pub use faults::{Fault, FaultPlan, SplitMix64};
+pub use memo::{phase_key, MemoMark, MemoProbe, MemoRow, MemoStats, PhaseMemo, RunKey};
 pub use result::{PhaseResult, RunMetrics, SimResult, Traffic};
 pub use runner::{
-    run_system, run_system_decoded, run_system_guarded, validate_config, RunControl, SystemKind,
+    run_system, run_system_decoded, run_system_guarded, run_system_guarded_memo, validate_config,
+    RunControl, SystemKind,
 };
 pub use sweep::{
-    full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, SweepSummary, TraceCache, Watchdog,
+    design_grid, full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, SweepSummary, TraceCache,
+    Watchdog,
 };

@@ -11,6 +11,12 @@
 //!   [`TraceCache`] and [`SharedTrace`]); every job replaying that suite
 //!   shares the trace and its flat [`DecodedTrace`] instead of re-running
 //!   the instrumented kernels and re-deriving block addresses per run.
+//! * **Phase memoization** — a shared [`PhaseMemo`] (on by default, see
+//!   [`Sweep::memo`] and DESIGN.md §13) splices results between grid
+//!   points whose config-slice signatures *and* entry-state digests
+//!   match, so a [`design_grid`] replays only the points each config
+//!   knob can actually influence. Faulted and checker-enabled jobs never
+//!   consult it, and memo-on output is byte-identical to memo-off.
 //! * **Worker pool** — jobs fan out over [`std::thread::scope`] threads,
 //!   sized from [`std::thread::available_parallelism`] (capped by the job
 //!   count, overridable via [`Sweep::threads`]). Workers claim jobs from a
@@ -70,8 +76,9 @@ use fusion_types::{ProtocolFaultKind, SystemConfig};
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
 use crate::faults::{Fault, FaultPlan};
+use crate::memo::{self, MemoProbe, MemoRow, MemoStats, PhaseMemo, RunKey};
 use crate::result::{duration_millis_saturating, duration_nanos_saturating, SimResult};
-use crate::runner::{run_system_guarded, RunControl, SystemKind};
+use crate::runner::{run_system_guarded, run_system_guarded_memo, RunControl, SystemKind};
 
 /// One point of the design-space grid: a system, the suite whose trace it
 /// replays, and the configuration to simulate under.
@@ -83,6 +90,10 @@ pub struct SweepJob {
     pub suite: SuiteId,
     /// Configuration knobs (cache sizes, write policy, prefetch, ...).
     pub config: SystemConfig,
+    /// Configuration-variant label of the design-space axis this job sits
+    /// on (`"base"` for the reference configuration; [`design_grid`]
+    /// stamps `"l0x8k"`, `"sp16k"`, ... on its variant points).
+    pub variant: String,
 }
 
 impl SweepJob {
@@ -92,13 +103,18 @@ impl SweepJob {
             system,
             suite,
             config,
+            variant: "base".to_string(),
         }
     }
 
-    /// Human-readable grid-point label ("FFT/FU"), used in timeout and
-    /// panic diagnostics and the CLI failure report.
+    /// Human-readable grid-point label ("FFT/FU", "FFT/FU@l0x8k"), used in
+    /// timeout and panic diagnostics and the CLI failure report.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.suite, self.system.label())
+        if self.variant == "base" {
+            format!("{}/{}", self.suite, self.system.label())
+        } else {
+            format!("{}/{}@{}", self.suite, self.system.label(), self.variant)
+        }
     }
 }
 
@@ -115,6 +131,8 @@ pub struct SweepOutcome {
     /// How many attempts the job took (`1` = first try; more means the
     /// retry policy kicked in on transient failures).
     pub attempts: u32,
+    /// How the phase-memo cache served this job (DESIGN.md §13).
+    pub memo: MemoRow,
 }
 
 impl SweepOutcome {
@@ -262,6 +280,43 @@ pub fn full_grid(cfg: &SystemConfig) -> Vec<SweepJob> {
     jobs
 }
 
+/// Capacity points of the design-space axes (bytes): the paper's
+/// sensitivity sweeps walk the private-store size around the 4 KB
+/// reference point.
+const CAPACITY_POINTS: [usize; 3] = [2048, 8192, 16384];
+
+/// The differential design-space grid: the [`full_grid`] at the base
+/// configuration, then the full grid again at each L0X-capacity and each
+/// scratchpad-capacity variant (7 × 28 = 196 jobs, base first).
+///
+/// This is the grid where phase memoization pays: SCRATCH and SHARED
+/// cannot observe the L0X axis, and SHARED/FUSION/FUSION-Dx (plus SCRATCH
+/// host phases) cannot observe the scratchpad axis, so with the memo on,
+/// 105 of the 196 points splice a base result instead of replaying
+/// (DESIGN.md §13).
+pub fn design_grid(base: &SystemConfig) -> Vec<SweepJob> {
+    let mut jobs = full_grid(base);
+    for cap in CAPACITY_POINTS {
+        let mut cfg = base.clone();
+        cfg.l0x.capacity_bytes = cap;
+        let variant = format!("l0x{}k", cap / 1024);
+        for mut job in full_grid(&cfg) {
+            job.variant = variant.clone();
+            jobs.push(job);
+        }
+    }
+    for cap in CAPACITY_POINTS {
+        let mut cfg = base.clone();
+        cfg.scratchpad.capacity_bytes = cap;
+        let variant = format!("sp{}k", cap / 1024);
+        for mut job in full_grid(&cfg) {
+            job.variant = variant.clone();
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
 /// A workload together with its pre-decoded reference stream, both behind
 /// [`Arc`]s so every job of a sweep shares one copy.
 #[derive(Debug, Clone)]
@@ -358,12 +413,13 @@ pub struct Sweep {
     retries: u32,
     fail_fast: bool,
     faults: FaultPlan,
+    memo: Option<Arc<PhaseMemo>>,
 }
 
 impl Sweep {
     /// A sweep at `scale` with the default pool size
     /// (`available_parallelism`, capped by the job count), no watchdogs,
-    /// no retries and no faults.
+    /// no retries, no faults and phase memoization on (DESIGN.md §13).
     pub fn new(scale: Scale) -> Sweep {
         Sweep {
             scale,
@@ -374,6 +430,7 @@ impl Sweep {
             retries: 0,
             fail_fast: false,
             faults: FaultPlan::new(),
+            memo: Some(Arc::new(PhaseMemo::new())),
         }
     }
 
@@ -440,6 +497,32 @@ impl Sweep {
     pub fn with_faults(mut self, faults: FaultPlan) -> Sweep {
         self.faults = faults;
         self
+    }
+
+    /// Enables or disables the phase-memo cache (on by default; `sim
+    /// sweep --no-memo` turns it off). With the memo off every grid point
+    /// fully replays — the A/B reference the determinism tests and the CI
+    /// gate compare against.
+    pub fn memo(mut self, enabled: bool) -> Sweep {
+        self.memo = if enabled {
+            Some(Arc::new(PhaseMemo::new()))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Shares an existing memo cache across sweeps (the 2-pass profiling
+    /// path), enabling memoization.
+    pub fn with_memo(mut self, memo: Arc<PhaseMemo>) -> Sweep {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Counter snapshot of the memo cache (all zeros when the memo is
+    /// disabled).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.as_ref().map(|m| m.stats()).unwrap_or_default()
     }
 
     /// The worker count this sweep would use for `jobs` jobs. Auto-sized
@@ -555,23 +638,26 @@ impl Sweep {
 
                         let max_attempts = 1 + self.retries;
                         let mut attempts = 0u32;
-                        let mut result = loop {
+                        let (mut result, memo_row) = loop {
                             attempts += 1;
                             let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 self.run_once(job, i, attempts, &cancels[i])
                             }));
-                            let r = match run {
+                            let (r, row) = match run {
                                 Ok(r) => r,
                                 // `&*payload`: downcast the inner payload,
                                 // not the Box (a Box is itself `Any`).
-                                Err(payload) => Err(SimError::JobPanicked {
-                                    job: job.label(),
-                                    message: panic_message(&*payload),
-                                }),
+                                Err(payload) => (
+                                    Err(SimError::JobPanicked {
+                                        job: job.label(),
+                                        message: panic_message(&*payload),
+                                    }),
+                                    MemoRow::default(),
+                                ),
                             };
                             match r {
                                 Err(e) if e.is_transient() && attempts < max_attempts => continue,
-                                other => break other,
+                                other => break (other, row),
                             }
                         };
                         started[i].finish();
@@ -591,6 +677,7 @@ impl Sweep {
                                 job: job.clone(),
                                 result,
                                 attempts,
+                                memo: memo_row,
                             });
                     }
                     workers_done.fetch_add(1, Ordering::Release);
@@ -608,15 +695,16 @@ impl Sweep {
     }
 
     /// One attempt at one job: stages the planned fault (if any), then
-    /// runs the simulation under the watchdog controls. Runs inside the
-    /// worker's `catch_unwind`.
+    /// runs the simulation under the watchdog controls — through the
+    /// phase-memo cache when the job is eligible (no staged fault, no
+    /// checker). Runs inside the worker's `catch_unwind`.
     fn run_once(
         &self,
         job: &SweepJob,
         index: usize,
         attempt: u32,
         cancel: &AtomicBool,
-    ) -> Result<SimResult, SimError> {
+    ) -> (Result<SimResult, SimError>, MemoRow) {
         let fault = self.faults.fault_for(index);
         let label = job.label();
         match fault {
@@ -646,7 +734,10 @@ impl Sweep {
             _ => None,
         };
         let reloaded = match &damaged {
-            Some(bytes) => Some(trace_io::decode_workload(bytes)?),
+            Some(bytes) => match trace_io::decode_workload(bytes) {
+                Ok(wl) => Some(wl),
+                Err(e) => return (Err(e), MemoRow::default()),
+            },
             None => None,
         };
         let (workload, decoded_storage);
@@ -687,7 +778,40 @@ impl Sweep {
             cancel: Some(cancel),
             wall_deadline_ms: self.watchdog.wall_deadline_ms.unwrap_or(0),
         };
-        run_system_guarded(job.system, workload, decoded, &cfg, &ctl)
+        // Memo eligibility: faulted jobs and checker-enabled configs never
+        // consult the cache — their results depend on more than the
+        // signature slices claim, and a faulty run must not poison or be
+        // served by healthy neighbors.
+        let memo_cache = match (&self.memo, fault, cfg.checker.enabled) {
+            (Some(m), None, false) => Some(m),
+            _ => None,
+        };
+        match memo_cache {
+            Some(cache) => {
+                let key = RunKey {
+                    system: job.system,
+                    suite: job.suite,
+                    scale: self.scale,
+                    fold: memo::run_fold(job.system, workload, &cfg),
+                    phases: workload.phases.len(),
+                };
+                let probe = MemoProbe::new(cache, key);
+                let res = run_system_guarded_memo(
+                    job.system,
+                    workload,
+                    decoded,
+                    &cfg,
+                    &ctl,
+                    Some(&probe),
+                );
+                let row = probe.row(workload.phases.len() as u64);
+                (res, row)
+            }
+            None => (
+                run_system_guarded(job.system, workload, decoded, &cfg, &ctl),
+                MemoRow::default(),
+            ),
+        }
     }
 }
 

@@ -1,14 +1,17 @@
 //! SCRATCH: per-accelerator scratchpads fed by the oracle coherent DMA.
 
 use fusion_accel::ooo::{run_host_phase_indexed, OooParams};
-use fusion_accel::{run_phase_indexed, DecodedTrace, Workload};
+use fusion_accel::{clip_kind_runs, run_phase_kind_runs, DecodedTrace, Workload};
 use fusion_dma::{DmaController, DmaDirection};
 use fusion_energy::{Component, EnergyLedger};
 use fusion_mem::Scratchpad;
 use fusion_types::error::SimError;
 use fusion_types::{Cycle, SystemConfig, CACHE_BLOCK_BYTES};
 
+use fusion_sim::{StateDigest, StateHasher};
+
 use crate::host::{HostSide, NoTile};
+use crate::memo::MemoProbe;
 use crate::result::{PhaseResult, SimResult};
 use crate::runner::RunControl;
 use crate::systems::{charge_compute, EnergyMark};
@@ -67,16 +70,49 @@ impl ScratchSystem {
         decoded: &DecodedTrace,
         ctl: &RunControl<'_>,
     ) -> Result<SimResult, SimError> {
+        self.run_guarded_memo(workload, decoded, ctl, None)
+    }
+
+    /// [`ScratchSystem::run_guarded`] with an optional phase-memo probe:
+    /// after constructing the simulator state, its [`StateDigest`] is
+    /// compared against the memoized producer's and an identical run is
+    /// spliced instead of replayed (DESIGN.md §13).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScratchSystem::run_guarded`].
+    pub fn run_guarded_memo(
+        &mut self,
+        workload: &Workload,
+        decoded: &DecodedTrace,
+        ctl: &RunControl<'_>,
+        memo: Option<&MemoProbe<'_>>,
+    ) -> Result<SimResult, SimError> {
         let cfg = &self.cfg;
         let mut host = HostSide::new(cfg);
         let em = host.energy_model().clone();
         let mut ledger = EnergyLedger::new();
         let mut dma = DmaController::new(cfg.link_l1x_l2);
+        let cap_blocks = cfg.scratchpad.capacity_bytes / CACHE_BLOCK_BYTES;
+        // Entry-state digest: everything mutable the replay below touches
+        // (the ledger and per-window scratchpads start empty by
+        // construction; `cap_blocks` stands in for the scratchpad shape).
+        let entry = memo.map(|_| {
+            let mut h = StateHasher::new();
+            host.digest(&mut h);
+            dma.digest(&mut h);
+            h.write_usize(cap_blocks);
+            h.finish128()
+        });
+        if let (Some(m), Some(d)) = (memo, entry) {
+            if let Some(res) = m.try_splice(d, workload.phases.len() as u64) {
+                return Ok(res);
+            }
+        }
         let mut now = Cycle::ZERO;
         let mut phases_out = Vec::new();
         let mut latency = fusion_sim::Histogram::new();
         let mut total_dma = 0u64;
-        let cap_blocks = cfg.scratchpad.capacity_bytes / CACHE_BLOCK_BYTES;
         // Oracle windowing is trace post-processing: memoized on the shared
         // decoded trace, so repeat runs (and the sweep's untimed decode
         // stage) skip it entirely.
@@ -126,16 +162,23 @@ impl ScratchSystem {
                     phase_dma += now - t0;
 
                     // Execute the window: every access hits the scratchpad.
+                    // Kind-sorted chunked replay over the window's clipped
+                    // runs: the read/write branch below is run-constant.
                     let sp_lat = cfg.scratchpad.latency;
                     let wdp = dp.slice(w.ref_range.0, w.ref_range.1);
-                    let t = run_phase_indexed(
+                    let t = run_phase_kind_runs(
                         wdp.len(),
                         |j| wdp.gaps[j],
                         phase.mlp,
                         now,
-                        |j, at| {
+                        clip_kind_runs(
+                            decoded.phase_kind_runs(phase_idx),
+                            w.ref_range.0,
+                            w.ref_range.1,
+                        ),
+                        |j, at, is_write| {
                             ledger.charge(Component::AxcCache, em.scratchpad_access);
-                            if wdp.kinds[j].is_write() {
+                            if is_write {
                                 // lint:allow-unwrap — the oracle schedule sized the window
                                 sp.write(wdp.blocks[j]).expect("oracle DMA window overflow");
                             } else {
@@ -181,7 +224,7 @@ impl ScratchSystem {
             }
         }
 
-        Ok(SimResult {
+        let res = SimResult {
             system: "SCRATCH",
             workload: workload.name.clone(),
             total_cycles: now.value(),
@@ -197,7 +240,11 @@ impl ScratchSystem {
             tile: None,
             latency,
             metrics: Default::default(),
-        })
+        };
+        if let (Some(m), Some(d)) = (memo, entry) {
+            m.record(d, &res, workload.phases.len() as u64);
+        }
+        Ok(res)
     }
 }
 

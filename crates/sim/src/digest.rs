@@ -1,0 +1,339 @@
+//! Structural state digests for the differential sweep engine.
+//!
+//! The phase-memo cache in `fusion-core::memo` splices previously computed
+//! results into a grid point only when the consumer's freshly constructed
+//! simulator state is *identical* to the state the producer started from.
+//! "Identical" is established by a 128-bit structural digest: every
+//! state-holding component hashes its mutable fields (cache slots and
+//! their replacement stamps, TLB entries, directory states, in-flight
+//! maps, statistic counters, ...) into a [`StateHasher`], and two states
+//! with different digests never splice — the consumer falls back to a full
+//! replay. Correctness is never assumed, it is checked.
+//!
+//! The hasher runs two independent FxHash-style lanes with different
+//! multipliers and rotations, so a single-lane collision does not produce
+//! a false match. It is *not* cryptographic — the threat model is
+//! accidental divergence (a config field missing from a signature slice),
+//! not an adversary constructing collisions.
+//!
+//! Hash-map contents must be folded **order-independently** (iteration
+//! order of the deterministic `FxHashMap` still depends on insertion
+//! history): hash each entry into a standalone [`digest_item`] sub-hash
+//! and combine the set with [`StateHasher::write_unordered`].
+
+use fusion_types::{
+    BlockAddr, CacheGeometry, Cycle, LinkConfig, PhysAddr, Pid, VirtAddr, WritePolicy,
+};
+
+/// Primary-lane multiplier (the workspace FxHash constant).
+const K0: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Secondary-lane multiplier (the splitmix64 increment, coprime with 2^64).
+const K1: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
+
+/// Two-lane structural hasher producing a 128-bit digest.
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    lane0: u64,
+    lane1: u64,
+    /// Words absorbed so far; folded into the final digest so that, e.g.,
+    /// `[0]` and `[0, 0]` do not collide.
+    count: u64,
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        StateHasher::new()
+    }
+}
+
+impl StateHasher {
+    /// Creates a hasher with fixed (deterministic) initial state.
+    pub fn new() -> Self {
+        StateHasher {
+            lane0: 0,
+            lane1: K1,
+            count: 0,
+        }
+    }
+
+    /// Absorbs one 64-bit word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        self.lane0 = (self.lane0.rotate_left(5) ^ word).wrapping_mul(K0);
+        self.lane1 = (self.lane1.rotate_left(17) ^ word).wrapping_mul(K1);
+        self.count += 1;
+    }
+
+    /// Absorbs a `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a `usize`.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a `bool`.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by exact bit pattern (no rounding tolerance: the
+    /// simulator's energy accounting is bit-deterministic, so equality is
+    /// the right notion).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a byte string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Folds a set of per-item sub-hashes (from [`digest_item`])
+    /// **order-independently**: the count, the wrapped sum and the xor of
+    /// the mixed item hashes are absorbed. Use for hash-map contents,
+    /// whose iteration order is not canonical.
+    pub fn write_unordered<I: IntoIterator<Item = u64>>(&mut self, items: I) {
+        let (mut n, mut sum, mut xor) = (0u64, 0u64, 0u64);
+        for item in items {
+            // Mix each item before combining so that structured item
+            // hashes do not cancel under +/xor.
+            let m = item.wrapping_mul(K0).rotate_left(31).wrapping_mul(K1);
+            n += 1;
+            sum = sum.wrapping_add(m);
+            xor ^= m;
+        }
+        self.write_u64(n);
+        self.write_u64(sum);
+        self.write_u64(xor);
+    }
+
+    /// The 128-bit digest of everything absorbed so far.
+    pub fn finish128(&self) -> (u64, u64) {
+        let mut a = self.lane0 ^ self.count;
+        let mut b = self.lane1.wrapping_add(self.count);
+        // splitmix64-style finalization on each lane.
+        for lane in [&mut a, &mut b] {
+            let mut z = *lane;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            *lane = z ^ (z >> 31);
+        }
+        (a, b)
+    }
+}
+
+/// A component that can fold its mutable state into a [`StateHasher`].
+///
+/// Implementations live next to the type they digest (private fields are
+/// part of the state), and must cover every field that can influence
+/// simulated results — *except* embedded copies of the `SystemConfig` or
+/// values derived purely from it, which the per-system `phase_key`
+/// signature slices already cover (see DESIGN.md §13 for the division of
+/// labor and its limits).
+pub trait StateDigest {
+    /// Absorbs this component's state.
+    fn digest(&self, h: &mut StateHasher);
+}
+
+/// Digests a single value into a standalone sub-hash, for
+/// [`StateHasher::write_unordered`] folds.
+pub fn digest_item(f: impl FnOnce(&mut StateHasher)) -> u64 {
+    let mut h = StateHasher::new();
+    f(&mut h);
+    h.finish128().0
+}
+
+/// The full 128-bit digest of one component.
+pub fn digest_of(x: &impl StateDigest) -> (u64, u64) {
+    let mut h = StateHasher::new();
+    x.digest(&mut h);
+    h.finish128()
+}
+
+impl StateDigest for u64 {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StateDigest for u32 {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl StateDigest for usize {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl StateDigest for bool {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl StateDigest for Cycle {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(self.0);
+    }
+}
+
+impl StateDigest for Pid {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StateDigest for BlockAddr {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(self.index());
+    }
+}
+
+impl StateDigest for PhysAddr {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(self.value());
+    }
+}
+
+impl StateDigest for VirtAddr {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(self.value());
+    }
+}
+
+impl StateDigest for CacheGeometry {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_usize(self.capacity_bytes);
+        h.write_usize(self.ways);
+        h.write_usize(self.banks);
+        h.write_u64(self.latency);
+    }
+}
+
+impl StateDigest for LinkConfig {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_f64(self.pj_per_byte);
+        h.write_u64(self.latency);
+        h.write_u64(self.bytes_per_cycle);
+    }
+}
+
+impl StateDigest for WritePolicy {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_u64(match self {
+            WritePolicy::WriteBack => 0,
+            WritePolicy::WriteThrough => 1,
+        });
+    }
+}
+
+impl<T: StateDigest> StateDigest for Option<T> {
+    fn digest(&self, h: &mut StateHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.digest(h);
+            }
+        }
+    }
+}
+
+impl<T: StateDigest> StateDigest for [T] {
+    fn digest(&self, h: &mut StateHasher) {
+        h.write_usize(self.len());
+        for v in self {
+            v.digest(h);
+        }
+    }
+}
+
+impl<T: StateDigest> StateDigest for Vec<T> {
+    fn digest(&self, h: &mut StateHasher) {
+        self.as_slice().digest(h);
+    }
+}
+
+impl<A: StateDigest, B: StateDigest> StateDigest for (A, B) {
+    fn digest(&self, h: &mut StateHasher) {
+        self.0.digest(h);
+        self.1.digest(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_deterministic() {
+        let run = || {
+            let mut h = StateHasher::new();
+            h.write_u64(7);
+            h.write_bool(true);
+            h.write_str("fusion");
+            h.finish128()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_words_change_both_lanes() {
+        let mut a = StateHasher::new();
+        a.write_u64(1);
+        let mut b = StateHasher::new();
+        b.write_u64(2);
+        let (a0, a1) = a.finish128();
+        let (b0, b1) = b.finish128();
+        assert_ne!(a0, b0);
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn word_count_distinguishes_zero_padding() {
+        let mut a = StateHasher::new();
+        a.write_u64(0);
+        let mut b = StateHasher::new();
+        b.write_u64(0);
+        b.write_u64(0);
+        assert_ne!(a.finish128(), b.finish128());
+    }
+
+    #[test]
+    fn unordered_fold_ignores_order_but_not_content() {
+        let item = |v: u64| digest_item(|h| h.write_u64(v));
+        let mut fwd = StateHasher::new();
+        fwd.write_unordered([item(1), item(2), item(3)]);
+        let mut rev = StateHasher::new();
+        rev.write_unordered([item(3), item(2), item(1)]);
+        assert_eq!(fwd.finish128(), rev.finish128());
+
+        let mut other = StateHasher::new();
+        other.write_unordered([item(1), item(2), item(4)]);
+        assert_ne!(fwd.finish128(), other.finish128());
+    }
+
+    #[test]
+    fn option_and_slice_impls_distinguish_shapes() {
+        let of = |v: &Option<u64>| digest_of(v);
+        assert_ne!(of(&None), of(&Some(0)));
+        let a: Vec<u64> = vec![1, 2];
+        let b: Vec<u64> = vec![2, 1];
+        assert_ne!(digest_of(&a), digest_of(&b));
+    }
+}

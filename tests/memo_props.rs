@@ -1,0 +1,234 @@
+//! Property tests for the phase-memo signature tables (DESIGN.md §13).
+//!
+//! Driven by the seeded splitmix64 generator in `tests/common` (same
+//! convention as `engine_props.rs`): random config mutations probe the
+//! two directions of the [`fusion_core::phase_key`] contract —
+//!
+//! * **soundness of equality**: if every phase key of a run matches
+//!   across two configs, replaying the run under either config produces
+//!   byte-identical stats (`SimResult::to_json`);
+//! * **sensitivity**: mutating any phase-relevant field changes the key
+//!   (so a stale memo entry can never be addressed by the new config).
+//!
+//! A third property exercises the [`fusion_core::PhaseMemo`] cache
+//! itself: splices require the producer's entry digest bit-for-bit, and
+//! a mismatched digest falls back to replay instead of a wrong answer.
+
+mod common;
+
+use common::Rng;
+use fusion_core::{phase_key, run_system, MemoMark, MemoProbe, PhaseMemo, RunKey, SystemKind};
+use fusion_types::{SystemConfig, WritePolicy};
+use fusion_workloads::{build_suite, Scale, SuiteId};
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::Scratch,
+    SystemKind::Shared,
+    SystemKind::Fusion,
+    SystemKind::FusionDx,
+];
+
+/// Applies one randomly-chosen, randomly-sized mutation from `fields`,
+/// returning its index (so failures name the culprit).
+fn mutate(
+    cfg: &mut SystemConfig,
+    rng: &mut Rng,
+    fields: &[fn(&mut SystemConfig, &mut Rng)],
+) -> usize {
+    let pick = rng.range_usize(0, fields.len());
+    fields[pick](cfg, rng);
+    pick
+}
+
+/// Mutations of fields *outside* every slice of `system` — applying any
+/// of them must leave all of the system's phase keys unchanged.
+fn irrelevant_fields(system: SystemKind) -> Vec<fn(&mut SystemConfig, &mut Rng)> {
+    let sp: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.scratchpad.capacity_bytes = 1 << r.range_usize(10, 16);
+    let l0x: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.l0x.capacity_bytes = 1 << r.range_usize(10, 16);
+    let l1x: fn(&mut SystemConfig, &mut Rng) = |c, r| c.l1x.latency = r.range_u64(1, 9);
+    let axc_link: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.link_axc_l1x.latency = r.range_u64(1, 9);
+    let dx_link: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.link_l0x_l0x.latency = r.range_u64(1, 9);
+    let lease: fn(&mut SystemConfig, &mut Rng) = |c, r| c.default_lease = r.range_u32(100, 2000);
+    let wp: fn(&mut SystemConfig, &mut Rng) = |c, _| {
+        c.write_policy = match c.write_policy {
+            WritePolicy::WriteBack => WritePolicy::WriteThrough,
+            WritePolicy::WriteThrough => WritePolicy::WriteBack,
+        }
+    };
+    let prefetch: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.l1x_prefetch_degree = r.range_usize(0, 5);
+    let tag: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.timestamp_tag_overhead = r.range_u64(0, 30) as f64 / 100.0;
+    match system {
+        // SCRATCH never touches the coherent-accelerator machinery.
+        SystemKind::Scratch => vec![l0x, l1x, axc_link, dx_link, lease, wp, prefetch, tag],
+        // SHARED has no private L0X, scratchpad, leases or Dx link.
+        SystemKind::Shared => vec![sp, l0x, dx_link, lease, wp, prefetch],
+        // FUSION ignores the scratchpad and the Dx-only link.
+        SystemKind::Fusion => vec![sp, dx_link],
+        // FUSION-Dx ignores only the scratchpad.
+        SystemKind::FusionDx => vec![sp],
+    }
+}
+
+/// Mutations of fields *inside* the slice of every phase of `system`.
+fn relevant_fields(system: SystemKind) -> Vec<fn(&mut SystemConfig, &mut Rng)> {
+    let l2: fn(&mut SystemConfig, &mut Rng) = |c, r| c.l2.latency = r.range_u64(10, 40);
+    let host_l1: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.host_l1.capacity_bytes = 1 << r.range_usize(13, 18);
+    let mem: fn(&mut SystemConfig, &mut Rng) = |c, r| c.memory_latency = r.range_u64(100, 400);
+    let l2_link: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.link_l1x_l2.latency = r.range_u64(1, 20);
+    let ctl: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.control_message_bytes = 8 * r.range_u64(1, 5);
+    let mut fields = vec![l2, host_l1, mem, l2_link, ctl];
+    let sp: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.scratchpad.capacity_bytes = 1 << r.range_usize(10, 16);
+    let l1x: fn(&mut SystemConfig, &mut Rng) = |c, r| c.l1x.latency = r.range_u64(1, 9);
+    let l0x: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.l0x.capacity_bytes = 1 << r.range_usize(10, 16);
+    let lease: fn(&mut SystemConfig, &mut Rng) = |c, r| c.default_lease = r.range_u32(100, 2000);
+    let dx_link: fn(&mut SystemConfig, &mut Rng) =
+        |c, r| c.link_l0x_l0x.latency = r.range_u64(1, 9);
+    match system {
+        // Scratchpad geometry reaches SCRATCH accelerator phases only, so
+        // it is exercised by the dedicated accel-phase assertion below,
+        // not listed here (these fields must flip *every* phase's key).
+        SystemKind::Scratch => {}
+        SystemKind::Shared => fields.push(l1x),
+        SystemKind::Fusion => fields.extend([l1x, l0x, lease]),
+        SystemKind::FusionDx => fields.extend([l1x, l0x, lease, dx_link]),
+    }
+    let _ = (sp, dx_link);
+    fields
+}
+
+/// Equal keys across every phase ⇒ byte-identical stats. 24 random
+/// irrelevant mutations per system, replayed end-to-end on a tiny suite.
+#[test]
+fn equal_phase_keys_imply_identical_results() {
+    let mut rng = Rng::new(0xF0510);
+    let base = SystemConfig::small();
+    for system in SYSTEMS {
+        let fields = irrelevant_fields(system);
+        for trial in 0..24 {
+            let mut mutated = base.clone();
+            // One to three stacked irrelevant mutations.
+            let n = rng.range_usize(1, 4);
+            let mut picked = Vec::new();
+            for _ in 0..n {
+                picked.push(mutate(&mut mutated, &mut rng, &fields));
+            }
+            let suite = SuiteId::ALL[rng.range_usize(0, SuiteId::ALL.len())];
+            let wl = build_suite(suite, Scale::Tiny);
+            for (idx, phase) in wl.phases.iter().enumerate() {
+                assert_eq!(
+                    phase_key(system, idx, phase.unit.is_host(), &base),
+                    phase_key(system, idx, phase.unit.is_host(), &mutated),
+                    "{system:?} trial {trial}: irrelevant mutations {picked:?} moved the key of phase {idx}"
+                );
+            }
+            let a = run_system(system, &wl, &base).expect("base run");
+            let b = run_system(system, &wl, &mutated).expect("mutated run");
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{system:?}/{suite:?} trial {trial}: keys equal but stats differ (mutations {picked:?})"
+            );
+        }
+    }
+}
+
+/// Any phase-relevant mutation flips the key of every phase (and the
+/// scratchpad axis flips SCRATCH accelerator phases specifically).
+#[test]
+fn relevant_mutations_change_every_phase_key() {
+    let mut rng = Rng::new(0xF0511);
+    let base = SystemConfig::small();
+    for system in SYSTEMS {
+        let fields = relevant_fields(system);
+        for trial in 0..24 {
+            let mut mutated = base.clone();
+            let picked = mutate(&mut mutated, &mut rng, &fields);
+            if mutated == base {
+                // The random draw reproduced the existing value; a no-op
+                // mutation legitimately leaves the key alone.
+                continue;
+            }
+            for idx in 0..4 {
+                for is_host in [false, true] {
+                    assert_ne!(
+                        phase_key(system, idx, is_host, &base),
+                        phase_key(system, idx, is_host, &mutated),
+                        "{system:?} trial {trial}: relevant mutation {picked} left phase {idx} (host={is_host}) unkeyed"
+                    );
+                }
+            }
+        }
+    }
+    // The scratchpad axis is phase-scoped on SCRATCH: accelerator phases
+    // re-key, host phases do not.
+    let mut bigger = base.clone();
+    bigger.scratchpad.capacity_bytes *= 2;
+    assert_ne!(
+        phase_key(SystemKind::Scratch, 0, false, &base),
+        phase_key(SystemKind::Scratch, 0, false, &bigger)
+    );
+    assert_eq!(
+        phase_key(SystemKind::Scratch, 0, true, &base),
+        phase_key(SystemKind::Scratch, 0, true, &bigger)
+    );
+}
+
+/// The cache itself: a splice needs the producer's entry digest
+/// bit-for-bit; any flipped digest bit falls back to a replay.
+#[test]
+fn memo_splices_only_on_exact_entry_digest() {
+    let mut rng = Rng::new(0xF0512);
+    let memo = PhaseMemo::new();
+    let wl = build_suite(SuiteId::Adpcm, Scale::Tiny);
+    let res = run_system(SystemKind::Scratch, &wl, &SystemConfig::small()).expect("run");
+    for trial in 0..32 {
+        let key = RunKey {
+            system: SystemKind::Scratch,
+            suite: SuiteId::Adpcm,
+            scale: Scale::Tiny,
+            fold: rng.next_u64(),
+            phases: wl.phases.len(),
+        };
+        let digest = (rng.next_u64(), rng.next_u64());
+        let phases = wl.phases.len() as u64;
+        let producer = MemoProbe::new(&memo, key);
+        assert!(producer.try_splice(digest, phases).is_none(), "cold cache");
+        producer.record(digest, &res, phases);
+
+        let consumer = MemoProbe::new(&memo, key);
+        let spliced = consumer
+            .try_splice(digest, phases)
+            .expect("same digest splices");
+        assert_eq!(spliced.to_json(), res.to_json(), "trial {trial}");
+        assert_eq!(consumer.mark(), MemoMark::Hit);
+
+        // Flip one random bit of one lane: must fall back, not splice.
+        let bit = 1u64 << rng.range_u64(0, 64);
+        let bad = if rng.chance() {
+            (digest.0 ^ bit, digest.1)
+        } else {
+            (digest.0, digest.1 ^ bit)
+        };
+        let skeptic = MemoProbe::new(&memo, key);
+        assert!(
+            skeptic.try_splice(bad, phases).is_none(),
+            "trial {trial}: digest mismatch must not splice"
+        );
+        assert_eq!(skeptic.mark(), MemoMark::Fallback);
+    }
+    let stats = memo.stats();
+    assert_eq!(stats.hits, 32);
+    assert_eq!(stats.digest_fallbacks, 32);
+    assert_eq!(stats.misses, 32);
+}

@@ -6,7 +6,7 @@
 //! `RunMetrics`, so the guarantee is expressible as plain `==` between
 //! the parallel outcomes and sequential `run_system` calls.
 
-use fusion_core::{full_grid, run_system, Sweep, TraceCache};
+use fusion_core::{design_grid, full_grid, run_system, MemoMark, Sweep, TraceCache};
 use fusion_types::SystemConfig;
 use fusion_workloads::{build_suite, Scale};
 
@@ -48,4 +48,57 @@ fn repeated_parallel_sweeps_agree_with_each_other() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.result, y.result);
     }
+}
+
+/// The differential-sweep guarantee (DESIGN.md §13): over the full
+/// design-space grid, memo-on output is byte-identical to memo-off —
+/// every spliced grid point carries exactly the stats a full replay
+/// would have produced, down to the JSON rendering.
+#[test]
+fn memo_on_matches_memo_off_over_design_grid() {
+    let cfg = SystemConfig::small();
+    let jobs = design_grid(&cfg);
+    assert_eq!(jobs.len(), 7 * 28, "base grid plus six capacity variants");
+
+    let shared = std::sync::Arc::new(TraceCache::new());
+    // Sequential memo-on pass: grid order guarantees every producer (the
+    // base block runs first) records before its consumers probe, so the
+    // hit count below is exact. Parallel sweeps are just as correct but
+    // may replay a consumer that probed before its producer finished.
+    let on = Sweep::new(Scale::Tiny)
+        .threads(1)
+        .with_trace_cache(std::sync::Arc::clone(&shared))
+        .run(jobs.clone());
+    let off = Sweep::new(Scale::Tiny)
+        .memo(false)
+        .with_trace_cache(shared)
+        .run(jobs);
+
+    let mut hits = 0usize;
+    for (x, y) in on.iter().zip(&off) {
+        let a = x.expect_result();
+        let b = y.expect_result();
+        assert_eq!(a, b, "{} memo-on diverged from memo-off", x.job.label());
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{} JSON rendering diverged",
+            x.job.label()
+        );
+        assert_eq!(y.memo.mark, MemoMark::Off);
+        if x.memo.mark == MemoMark::Hit {
+            hits += 1;
+        }
+        assert_ne!(
+            x.memo.mark,
+            MemoMark::Fallback,
+            "{} fell back: a signature slice is too narrow",
+            x.job.label()
+        );
+    }
+    // SC+SH splice across the L0X axis (2×7×3), SH+FU+FU-Dx across the
+    // scratchpad axis (3×7×3), plus SCRATCH host-phase-only... the run-
+    // level splice needs *every* phase independent, so SC jobs on the
+    // scratchpad axis replay. 42 + 63 = 105 spliced points.
+    assert_eq!(hits, 105, "design grid must splice every eligible point");
 }
