@@ -33,12 +33,14 @@
 //! counterexample found when `--expect-violation` is given — and 1
 //! otherwise (including an exploration truncated by `--max-states`).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use fusion_accel::{io as trace_io, Workload};
 use fusion_core::{
-    design_grid, run_system, FaultPlan, SimResult, Sweep, SweepJob, SweepOutcome, SweepSummary,
-    SystemKind, Watchdog,
+    design_grid, journal, run_system, FaultPlan, SimResult, Sweep, SweepJob, SweepOutcome,
+    SweepSummary, SystemKind, TraceCache, Watchdog,
 };
 use fusion_energy::Component;
 use fusion_types::{SystemConfig, WritePolicy};
@@ -54,7 +56,7 @@ sim replay  --system <...> --trace <file> [--json] [--large] [--write-through]\n
 [--lease-renewal] [--prefetch <N>]\n  \
 sim compare --suite <...> [--scale ...] [--threads <N>] [robustness flags] [config flags]\n  \
 sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json] [--no-memo]\n              \
-[robustness flags] [config flags]\n  \
+[--journal <path>] [--resume] [robustness flags] [config flags]\n  \
 sim verify  [--protocol <acc|acc-dx|acc-renew|mesi|all>] [--agents <N>] [--blocks <N>]\n              \
 [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]\n              \
 [--max-states <N>] [--json]\n\n\
@@ -67,6 +69,11 @@ robustness flags (compare/sweep):\n  \
 --budget <cycles>     per-job simulated-cycle budget (livelock watchdog)\n  \
 --deadline-ms <N>     per-job wall-clock deadline in milliseconds\n  \
 --inject <seed:count> deterministically inject <count> faults (testing)\n\n\
+durability flags (sweep):\n  \
+--journal <path>      write-ahead result journal: one fsync'd sealed JSONL row\n                        \
+per completed grid point (DESIGN.md \u{a7}14)\n  \
+--resume              replay a journal, re-verifying and skipping completed\n                        \
+points; partial sweeps also leave <path>.salvage.json\n\n\
 exit codes: 0 success, 1 runtime/sweep/verification failure, 2 usage error";
 
 /// Usage errors exit 2, distinguishing bad invocations from jobs that
@@ -86,17 +93,18 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 /// Options that stand alone (no value follows).
-const FLAG_KEYS: [&str; 7] = [
+const FLAG_KEYS: [&str; 8] = [
     "json",
     "large",
     "write-through",
     "lease-renewal",
     "fail-fast",
     "no-memo",
+    "resume",
     "expect-violation",
 ];
 /// Options that consume the next argument as their value.
-const VALUE_KEYS: [&str; 18] = [
+const VALUE_KEYS: [&str; 19] = [
     "system",
     "suite",
     "scale",
@@ -109,6 +117,7 @@ const VALUE_KEYS: [&str; 18] = [
     "budget",
     "deadline-ms",
     "inject",
+    "journal",
     "protocol",
     "agents",
     "blocks",
@@ -404,85 +413,249 @@ fn compare(suite: SuiteId, scale: Scale, args: &Args) -> Result<bool, String> {
     Ok(report_failures(&outcomes, expected))
 }
 
+/// One renderable grid point of a sweep: a live outcome from this run or
+/// a row spliced verbatim from the write-ahead journal.
+enum SweepRow<'a> {
+    Live(&'a SweepOutcome),
+    Resumed(&'a journal::JournalRow),
+}
+
 /// `sweep`: the design grid — the 4-system × 7-suite base plus the
-/// L0X- and scratchpad-capacity axes (DESIGN.md §13) — over the pool.
+/// L0X- and scratchpad-capacity axes (DESIGN.md §13) — over the pool,
+/// optionally journaled with `--journal` and crash-recovered with
+/// `--resume` (DESIGN.md §14).
 fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
     let cfg = config_from(args)?;
     let jobs = design_grid(&cfg);
     let expected = jobs.len();
-    let sweep = sweep_from(scale, args, expected)?;
-    let pool = sweep.pool_size(jobs.len());
+    let mut sweep = sweep_from(scale, args, expected)?;
+    // The CLI shares the sweep's trace cache so resume verification
+    // fingerprints the exact workload bytes the jobs will replay.
+    let traces = Arc::new(TraceCache::new());
+    sweep = sweep.with_trace_cache(Arc::clone(&traces));
+
+    let journal_path = args.get("journal").map(PathBuf::from);
+    if args.flag("resume") && journal_path.is_none() {
+        return Err("--resume requires --journal <path>".to_string());
+    }
+
+    // Resume: decode the journal and re-verify every claim against the
+    // live grid (code version, scale, config and trace fingerprints —
+    // checked, never assumed). Header mismatches are usage errors;
+    // damaged or stale rows simply re-run.
+    let mut resumed: Vec<Option<journal::JournalRow>> = jobs.iter().map(|_| None).collect();
+    if let (true, Some(path)) = (args.flag("resume"), &journal_path) {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let recovery = journal::read_journal(&bytes);
+                let mut fp = |suite: SuiteId| traces.get(suite, scale).fingerprint();
+                let plan = journal::plan_resume(
+                    &jobs,
+                    scale,
+                    &recovery,
+                    &journal::code_version(),
+                    &mut fp,
+                )
+                .map_err(|e| format!("--resume: {e}"))?;
+                for w in &plan.warnings {
+                    eprintln!("journal: {w}");
+                }
+                resumed = plan.resumed;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "journal: {} not found; running the full grid",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("journal: cannot read {}: {e}", path.display());
+                return Ok(false);
+            }
+        }
+    }
+    let resumed_count = resumed.iter().flatten().count();
+
+    // (Re)create the journal and replay the verified rows into it before
+    // the sweep starts: resume *compacts*, so torn tails, duplicates and
+    // stale rows are healed rather than appended after.
+    if let Some(path) = &journal_path {
+        let header = journal::JournalHeader {
+            scale: journal::scale_label(scale).to_string(),
+            code_version: journal::code_version(),
+            grid: expected,
+        };
+        let mut writer = match journal::JournalWriter::create(path, &header) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("journal: {e}");
+                return Ok(false);
+            }
+        };
+        for row in resumed.iter().flatten() {
+            if let Err(e) = writer.append(row) {
+                eprintln!("journal: {e}");
+                return Ok(false);
+            }
+        }
+        sweep = sweep.with_journal(Arc::new(journal::JournalSink::new(writer)));
+    }
+
+    let todo: Vec<SweepJob> = jobs
+        .iter()
+        .zip(&resumed)
+        .filter(|(_, r)| r.is_none())
+        .map(|(j, _)| j.clone())
+        .collect();
+    let todo_len = todo.len();
+    let pool = sweep.pool_size(todo_len);
     let tile_threads = sweep.tile_threads_per_job();
     let started = std::time::Instant::now();
-    let outcomes = sweep.run(jobs);
+    let outcomes = sweep.run(todo);
     let total = started.elapsed();
     let memo_stats = sweep.memo_stats();
+    let degraded = sweep.degradation();
+
+    // Stitch the live outcomes back into grid order alongside the
+    // resumed rows. Outcomes may have gaps (fail-fast, killed workers),
+    // so walk them with a cursor keyed on the unique
+    // (suite, system, variant) triple.
+    let mut rows: Vec<SweepRow> = Vec::with_capacity(expected);
+    let mut live = outcomes.iter().peekable();
+    for (job, res) in jobs.iter().zip(&resumed) {
+        match res {
+            Some(row) => rows.push(SweepRow::Resumed(row)),
+            None => {
+                if let Some(&o) = live.peek() {
+                    if o.job.system == job.system
+                        && o.job.suite == job.suite
+                        && o.job.variant == job.variant
+                    {
+                        rows.push(SweepRow::Live(o));
+                        live.next();
+                    }
+                }
+            }
+        }
+    }
+
     if args.flag("json") {
         // One JSON object per grid point; for completed jobs the "result"
         // payload is exactly what `sim run --json` prints for the same
-        // (system, suite, config); failed jobs carry an "error" object.
-        // "config" names the capacity variant ("base" on the base grid),
-        // "memo" how the phase memo served the job (off|miss|hit|fallback).
+        // (system, suite, config) — resumed rows echo the journaled
+        // payload verbatim, so a resumed sweep is byte-identical modulo
+        // the timing fields ("wall_ms", "queue_delay_ms", "refs_per_sec")
+        // and "memo", which reads "journal". "config" names the capacity
+        // variant ("base" on the base grid), "attempts"/"backoff" the
+        // retry accounting of DESIGN.md §10.
         println!("[");
-        for (i, o) in outcomes.iter().enumerate() {
-            let tail = if i + 1 < outcomes.len() { "," } else { "" };
-            match &o.result {
-                Ok(res) => {
-                    let m = res.metrics;
+        for (i, row) in rows.iter().enumerate() {
+            let tail = if i + 1 < rows.len() { "," } else { "" };
+            match row {
+                SweepRow::Live(o) => match &o.result {
+                    Ok(res) => {
+                        let m = res.metrics;
+                        println!(
+                            "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
+                             \"tile_threads\":{tile_threads},\
+                             \"wall_ms\":{:.3},\
+                             \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
+                             \"refs_per_sec\":{:.0},\"memo\":\"{}\",\
+                             \"attempts\":{},\"backoff\":{},\"result\":{}}}{tail}",
+                            o.job.suite.label(),
+                            o.job.system.label(),
+                            o.job.variant,
+                            m.wall_time().as_secs_f64() * 1e3,
+                            m.queue_delay().as_secs_f64() * 1e3,
+                            m.sim_events,
+                            m.refs_simulated,
+                            m.refs_per_sec(),
+                            o.memo.mark.label(),
+                            o.attempts,
+                            o.backoff,
+                            res.to_json(),
+                        );
+                    }
+                    Err(e) => {
+                        println!(
+                            "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
+                             \"attempts\":{},\"backoff\":{},\
+                             \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}{tail}",
+                            o.job.suite.label(),
+                            o.job.system.label(),
+                            o.job.variant,
+                            o.attempts,
+                            o.backoff,
+                            e.kind_label(),
+                            json_escape(&e.to_string()),
+                        );
+                    }
+                },
+                SweepRow::Resumed(r) => {
                     println!(
                         "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
                          \"tile_threads\":{tile_threads},\
-                         \"wall_ms\":{:.3},\
-                         \"queue_delay_ms\":{:.3},\"sim_events\":{},\"refs\":{},\
-                         \"refs_per_sec\":{:.0},\"memo\":\"{}\",\"result\":{}}}{tail}",
-                        o.job.suite.label(),
-                        o.job.system.label(),
-                        o.job.variant,
-                        m.wall_time().as_secs_f64() * 1e3,
-                        m.queue_delay().as_secs_f64() * 1e3,
-                        m.sim_events,
-                        m.refs_simulated,
-                        m.refs_per_sec(),
-                        o.memo.mark.label(),
-                        res.to_json(),
-                    );
-                }
-                Err(e) => {
-                    println!(
-                        "{{\"suite\":\"{}\",\"system\":\"{}\",\"config\":\"{}\",\
-                         \"attempts\":{},\
-                         \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}{tail}",
-                        o.job.suite.label(),
-                        o.job.system.label(),
-                        o.job.variant,
-                        o.attempts,
-                        e.kind_label(),
-                        json_escape(&e.to_string()),
+                         \"wall_ms\":0.000,\
+                         \"queue_delay_ms\":0.000,\"sim_events\":{},\"refs\":{},\
+                         \"refs_per_sec\":0,\"memo\":\"journal\",\
+                         \"attempts\":{},\"backoff\":{},\"result\":{}}}{tail}",
+                        r.suite,
+                        r.system,
+                        r.variant,
+                        r.sim_events,
+                        r.refs,
+                        r.attempts,
+                        r.backoff,
+                        r.result_json,
                     );
                 }
             }
         }
         println!("]");
-        return Ok(report_failures(&outcomes, expected));
+        return sweep_epilogue(
+            &outcomes,
+            todo_len,
+            resumed_count,
+            expected,
+            &degraded,
+            journal_path.as_deref(),
+        );
     }
     println!(
         "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9} {:>9}",
         "suite", "system", "config", "cycles", "cache energy", "events", "wall ms", "queue ms"
     );
-    for o in &outcomes {
-        let Ok(res) = &o.result else { continue };
-        let m = res.metrics;
-        println!(
-            "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
-            o.job.suite.label(),
-            o.job.system.label(),
-            o.job.variant,
-            res.total_cycles,
-            res.cache_energy().to_string(),
-            m.sim_events,
-            m.wall_time().as_secs_f64() * 1e3,
-            m.queue_delay().as_secs_f64() * 1e3,
-        );
+    for row in &rows {
+        match row {
+            SweepRow::Live(o) => {
+                let Ok(res) = &o.result else { continue };
+                let m = res.metrics;
+                println!(
+                    "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9.1} {:>9.1}",
+                    o.job.suite.label(),
+                    o.job.system.label(),
+                    o.job.variant,
+                    res.total_cycles,
+                    res.cache_energy().to_string(),
+                    m.sim_events,
+                    m.wall_time().as_secs_f64() * 1e3,
+                    m.queue_delay().as_secs_f64() * 1e3,
+                );
+            }
+            SweepRow::Resumed(r) => {
+                println!(
+                    "{:<12} {:<10} {:<8} {:>12} {:>14} {:>12} {:>9} {:>9}",
+                    r.suite,
+                    r.system,
+                    r.variant,
+                    journal::result_u64(&r.result_json, "total_cycles").unwrap_or(0),
+                    "(journal)",
+                    r.sim_events,
+                    "-",
+                    "-",
+                );
+            }
+        }
     }
     let done: Vec<&SimResult> = outcomes
         .iter()
@@ -512,7 +685,62 @@ fn sweep_cmd(scale: Scale, args: &Args) -> Result<bool, String> {
             memo_stats.phases_replayed,
         );
     }
-    Ok(report_failures(&outcomes, expected))
+    sweep_epilogue(
+        &outcomes,
+        todo_len,
+        resumed_count,
+        expected,
+        &degraded,
+        journal_path.as_deref(),
+    )
+}
+
+/// Shared sweep wrap-up: failure summary, resume accounting, degradation
+/// report, and — on a partial sweep — the machine-readable salvage
+/// report (stderr plus `<journal>.salvage.json`).
+fn sweep_epilogue(
+    outcomes: &[SweepOutcome],
+    todo_len: usize,
+    resumed_count: usize,
+    expected: usize,
+    degraded: &fusion_types::Degraded,
+    journal_path: Option<&std::path::Path>,
+) -> Result<bool, String> {
+    let ok = report_failures(outcomes, todo_len);
+    if resumed_count > 0 {
+        eprintln!("journal: {resumed_count}/{expected} grid point(s) resumed, {todo_len} run live");
+    }
+    if degraded.is_degraded() {
+        eprintln!(
+            "degraded: reached '{}' after {} transient failure(s){}",
+            degraded.level,
+            degraded.transient_failures,
+            if degraded.journal_lost {
+                "; journal lost mid-sweep"
+            } else {
+                ""
+            }
+        );
+    } else if degraded.journal_lost {
+        eprintln!("journal: lost mid-sweep; completed rows before the failure are preserved");
+    }
+    if !ok {
+        let salvage = journal::salvage_json(
+            outcomes,
+            resumed_count,
+            expected,
+            degraded,
+            journal_path.and_then(|p| p.to_str()),
+        );
+        eprintln!("salvage: {salvage}");
+        if let Some(path) = journal_path {
+            let out = format!("{}.salvage.json", path.display());
+            if let Err(e) = std::fs::write(&out, format!("{salvage}\n")) {
+                eprintln!("salvage: cannot write {out}: {e}");
+            }
+        }
+    }
+    Ok(ok)
 }
 
 /// Builds the [`VerifySpec`] for `sim verify` from the CLI arguments.
@@ -866,6 +1094,8 @@ mod tests {
             "--budget",
             "--deadline-ms",
             "--inject",
+            "--journal",
+            "--resume",
             "--protocol",
             "--agents",
             "--blocks",

@@ -49,6 +49,17 @@ pub enum Fault {
         /// Checked event at which the directory state is corrupted.
         at_event: u64,
     },
+    /// Chaos-harness kill: the worker that claims this grid index dies on
+    /// the spot (its claim loop exits before running the job), leaving
+    /// the job's result slot empty — the in-process stand-in for a
+    /// SIGKILL'd worker. The sweep returns the other outcomes; a
+    /// journaled sweep resumes the missing point.
+    WorkerKill,
+    /// Chaos-harness cancellation storm: the job's cancellation flag is
+    /// raised mid-flight on its first attempt (a transient `WallClock`
+    /// timeout at the next arbitration point) and cleared for retries, so
+    /// a retry budget recovers the job deterministically.
+    CancelStorm,
 }
 
 /// The seedable generator behind [`FaultPlan::seeded`]: splitmix64, the
@@ -116,6 +127,37 @@ impl FaultPlan {
         plan
     }
 
+    /// Derives a chaos plan: like [`FaultPlan::seeded`] but drawing from
+    /// the *full* fault catalogue, including worker kills and
+    /// cancellation storms. Kept separate so `--inject`'s exit-code
+    /// contract (every seeded fault yields a typed per-job error) is
+    /// unchanged: a killed worker yields a missing row, not an error row.
+    pub fn seeded_chaos(seed: u64, jobs: usize, count: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if jobs == 0 {
+            return plan;
+        }
+        let mut rng = SplitMix64(seed);
+        let count = count.min(jobs);
+        while plan.faults.len() < count {
+            let job = (rng.next_u64() % jobs as u64) as usize;
+            if plan.faults.contains_key(&job) {
+                continue;
+            }
+            let fault = match rng.next_u64() % 7 {
+                0 => Fault::Panic,
+                1 => Fault::TransientPanic { failures: 1 },
+                2 => Fault::CorruptTrace,
+                3 => Fault::TruncateTrace,
+                4 => Fault::Livelock,
+                5 => Fault::WorkerKill,
+                _ => Fault::CancelStorm,
+            };
+            plan.faults.insert(job, fault);
+        }
+        plan
+    }
+
     /// The fault staged at grid index `job`, if any.
     pub fn fault_for(&self, job: usize) -> Option<Fault> {
         self.faults.get(&job).copied()
@@ -168,6 +210,34 @@ mod tests {
     fn seeded_plan_clamps_to_grid() {
         assert!(FaultPlan::seeded(1, 0, 4).is_empty());
         assert_eq!(FaultPlan::seeded(1, 2, 100).len(), 2);
+    }
+
+    #[test]
+    fn seeded_never_draws_chaos_kinds() {
+        // `--inject`'s contract: every planted fault produces a typed
+        // per-job error. Kills and storms live in seeded_chaos only.
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded(seed, 28, 10);
+            assert!(plan
+                .entries()
+                .iter()
+                .all(|&(_, f)| !matches!(f, Fault::WorkerKill | Fault::CancelStorm)));
+        }
+    }
+
+    #[test]
+    fn seeded_chaos_is_reproducible_and_reaches_new_kinds() {
+        assert_eq!(
+            FaultPlan::seeded_chaos(11, 28, 8),
+            FaultPlan::seeded_chaos(11, 28, 8)
+        );
+        assert!(FaultPlan::seeded_chaos(1, 0, 4).is_empty());
+        let drawn: Vec<Fault> = (0..64)
+            .flat_map(|seed| FaultPlan::seeded_chaos(seed, 28, 8).entries())
+            .map(|(_, f)| f)
+            .collect();
+        assert!(drawn.contains(&Fault::WorkerKill));
+        assert!(drawn.contains(&Fault::CancelStorm));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod faults;
 pub mod host;
+pub mod journal;
 pub mod memo;
 pub mod result;
 pub mod runner;
@@ -47,6 +48,10 @@ pub mod sweep;
 pub mod systems;
 
 pub use faults::{Fault, FaultPlan, SplitMix64};
+pub use journal::{
+    code_version, config_fingerprint, job_key, plan_resume, read_journal, salvage_json, JobKey,
+    JournalHeader, JournalRow, JournalSink, JournalWriter, Recovery, ResumePlan,
+};
 pub use memo::{phase_key, MemoMark, MemoProbe, MemoRow, MemoStats, PhaseMemo, RunKey};
 pub use result::{PhaseResult, RunMetrics, SimResult, Traffic};
 pub use runner::{
@@ -54,6 +59,6 @@ pub use runner::{
     RunControl, SystemKind,
 };
 pub use sweep::{
-    design_grid, full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome, SweepSummary, TraceCache,
-    Watchdog,
+    backoff_cycles, design_grid, full_grid, SharedTrace, Sweep, SweepJob, SweepOutcome,
+    SweepSummary, TraceCache, Watchdog,
 };

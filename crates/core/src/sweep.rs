@@ -30,10 +30,26 @@
 //!   (the protocol-livelock guard) and a wall-clock deadline enforced by a
 //!   monitor thread through per-job cancellation flags; both surface as
 //!   [`SimError::Timeout`].
-//! * **Retry** — transient failures (panics, timeouts) are retried up to
-//!   [`Sweep::retries`] extra attempts, immediately and deterministically
-//!   (no wall-clock randomness); [`SweepOutcome::attempts`] records the
-//!   count.
+//! * **Retry with deterministic backoff** — transient failures (panics,
+//!   timeouts) are retried up to [`Sweep::retries`] extra attempts, with
+//!   a bounded exponential backoff between attempts measured in
+//!   *simulated-cycle units* and burned as CPU spin loops, never
+//!   wall-clock sleeps (see [`backoff_cycles`]) — retried sweeps stay
+//!   deterministic and tests never wait on real time.
+//!   [`SweepOutcome::attempts`] and [`SweepOutcome::backoff`] record the
+//!   accounting.
+//! * **Write-ahead journal** — with [`Sweep::with_journal`] each worker
+//!   records every completed grid point to a checksummed, fsync'd journal
+//!   *before* publishing the result (DESIGN.md §14, [`crate::journal`]);
+//!   a crashed sweep resumes from the journal instead of restarting.
+//! * **Graceful degradation** — repeated transient failures walk a
+//!   capability ladder
+//!   ([`DegradeLevel`]): first the
+//!   per-job tile-thread reservation is shed, then the phase memo is
+//!   disabled for newly claimed jobs, finally the pool collapses to
+//!   fail-soft single-job mode. Every rung preserves byte-identical
+//!   results — only parallelism and caching are given back.
+//!   [`Sweep::degradation`] reports how far the ladder descended.
 //! * **Determinism** — every simulation is a pure function of its
 //!   `(system, workload, config)` inputs, and every injected fault is a
 //!   pure function of the [`FaultPlan`]. Results are written into per-job
@@ -69,13 +85,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use fusion_accel::{io as trace_io, DecodedTrace, Workload};
-use fusion_types::error::SimError;
+use fusion_types::error::{DegradeLevel, Degraded, SimError};
 use fusion_types::fault::CheckerConfig;
 use fusion_types::hash::FxHashMap;
 use fusion_types::{ProtocolFaultKind, SystemConfig};
 use fusion_workloads::{all_suites, build_suite, Scale, SuiteId};
 
 use crate::faults::{Fault, FaultPlan};
+use crate::journal::{self, JournalSink};
 use crate::memo::{self, MemoProbe, MemoRow, MemoStats, PhaseMemo, RunKey};
 use crate::result::{duration_millis_saturating, duration_nanos_saturating, SimResult};
 use crate::runner::{run_system_guarded, run_system_guarded_memo, RunControl, SystemKind};
@@ -131,6 +148,10 @@ pub struct SweepOutcome {
     /// How many attempts the job took (`1` = first try; more means the
     /// retry policy kicked in on transient failures).
     pub attempts: u32,
+    /// Total deterministic backoff spun between attempts, in
+    /// simulated-cycle units (zero for first-try successes; see
+    /// [`backoff_cycles`]).
+    pub backoff: u64,
     /// How the phase-memo cache served this job (DESIGN.md §13).
     pub memo: MemoRow,
 }
@@ -262,6 +283,83 @@ fn shared_pool_budget(hw: usize, tile_threads: usize) -> usize {
     (hw / tile_threads.max(1)).max(1)
 }
 
+/// Exponent cap of the backoff schedule: the delay stops doubling after
+/// this many failed attempts.
+const BACKOFF_MAX_SHIFT: u32 = 6;
+/// Cap on the spin iterations one backoff actually burns, so pathological
+/// cycle budgets cannot stall a worker for seconds.
+const BACKOFF_SPIN_CAP: u64 = 1 << 22;
+
+/// The deterministic backoff before retry number `failed_attempts + 1`,
+/// in simulated-cycle units: an exponential schedule scaled from the
+/// job's simulated-cycle budget (`budget / 1024` per unit, at least 1;
+/// 1024 units when no budget is armed), doubling per failed attempt up
+/// to a bounded cap. A pure function of its inputs — no wall clock, no
+/// randomness — so retried sweeps remain reproducible and tests never
+/// sleep.
+pub fn backoff_cycles(failed_attempts: u32, budget: Option<u64>) -> u64 {
+    if failed_attempts == 0 {
+        return 0;
+    }
+    let unit = budget.map_or(1024, |b| (b / 1024).max(1));
+    unit.saturating_mul(1u64 << (failed_attempts - 1).min(BACKOFF_MAX_SHIFT))
+}
+
+/// Burns a backoff as a bounded CPU spin (capped; never a sleep, so the
+/// schedule cannot interact with wall-clock watchdogs or test runtime).
+fn apply_backoff(cycles: u64) {
+    for _ in 0..cycles.min(BACKOFF_SPIN_CAP) {
+        std::hint::spin_loop();
+    }
+}
+
+/// Degradation-ladder rung indexes (see
+/// [`DegradeLevel`](fusion_types::error::DegradeLevel)).
+const LEVEL_SHED_TILE: usize = 1;
+const LEVEL_MEMO_OFF: usize = 2;
+const LEVEL_SINGLE_JOB: usize = 3;
+/// Transient-failure counts at which the ladder descends a rung.
+const DEGRADE_SHED_TILE_AFTER: u64 = 2;
+const DEGRADE_MEMO_OFF_AFTER: u64 = 4;
+const DEGRADE_SINGLE_JOB_AFTER: u64 = 6;
+
+/// Shared graceful-degradation state: a monotonic transient-failure
+/// counter driving a monotonic ladder level (fetch_max — the ladder only
+/// descends, concurrent workers cannot race it back up).
+struct DegradeState {
+    transients: AtomicU64,
+    level: AtomicUsize,
+}
+
+impl DegradeState {
+    fn new() -> DegradeState {
+        DegradeState {
+            transients: AtomicU64::new(0),
+            level: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one transient failure and descends the ladder when a
+    /// threshold is crossed.
+    fn note_transient(&self) {
+        let t = self.transients.fetch_add(1, Ordering::Relaxed) + 1;
+        let level = if t >= DEGRADE_SINGLE_JOB_AFTER {
+            LEVEL_SINGLE_JOB
+        } else if t >= DEGRADE_MEMO_OFF_AFTER {
+            LEVEL_MEMO_OFF
+        } else if t >= DEGRADE_SHED_TILE_AFTER {
+            LEVEL_SHED_TILE
+        } else {
+            0
+        };
+        self.level.fetch_max(level, Ordering::Relaxed);
+    }
+
+    fn level(&self) -> usize {
+        self.level.load(Ordering::Relaxed)
+    }
+}
+
 /// The full evaluation grid at one configuration: every system of
 /// Section 5 × every suite of Table 1, in deterministic figure order
 /// (suites outer, systems inner).
@@ -325,6 +423,20 @@ pub struct SharedTrace {
     pub workload: Arc<Workload>,
     /// The flat decoded stream every replay loop consumes.
     pub decoded: Arc<DecodedTrace>,
+    /// Lazily computed fingerprint of the encoded trace bytes (shared
+    /// across clones, computed at most once per cached trace).
+    fingerprint: Arc<OnceLock<u64>>,
+}
+
+impl SharedTrace {
+    /// FNV-1a fingerprint of the workload's encoded trace bytes — the
+    /// value the result journal stores per row so a resume can prove the
+    /// workload generator still produces the same trace (DESIGN.md §14).
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| journal::fnv1a(&trace_io::encode_workload(&self.workload)))
+    }
 }
 
 /// Workload traces materialized once per `(suite, scale)` and shared
@@ -376,6 +488,7 @@ impl TraceCache {
             SharedTrace {
                 workload: Arc::new(workload),
                 decoded: Arc::new(decoded),
+                fingerprint: Arc::new(OnceLock::new()),
             }
         })
         .clone()
@@ -414,6 +527,8 @@ pub struct Sweep {
     fail_fast: bool,
     faults: FaultPlan,
     memo: Option<Arc<PhaseMemo>>,
+    journal: Option<Arc<JournalSink>>,
+    degrade: DegradeState,
 }
 
 impl Sweep {
@@ -431,6 +546,8 @@ impl Sweep {
             fail_fast: false,
             faults: FaultPlan::new(),
             memo: Some(Arc::new(PhaseMemo::new())),
+            journal: None,
+            degrade: DegradeState::new(),
         }
     }
 
@@ -523,6 +640,43 @@ impl Sweep {
     /// disabled).
     pub fn memo_stats(&self) -> MemoStats {
         self.memo.as_ref().map(|m| m.stats()).unwrap_or_default()
+    }
+
+    /// Attaches a write-ahead result journal: every completed grid point
+    /// is recorded (checksummed, fsync'd) before its result is published
+    /// (DESIGN.md §14). Journal loss mid-sweep degrades gracefully — the
+    /// sweep finishes, [`Sweep::degradation`] reports `journal_lost`.
+    pub fn with_journal(mut self, sink: Arc<JournalSink>) -> Sweep {
+        self.journal = Some(sink);
+        self
+    }
+
+    /// How far this executor's graceful-degradation ladder has descended
+    /// (monotonic across every [`Sweep::run`] on this executor).
+    pub fn degradation(&self) -> Degraded {
+        Degraded {
+            level: DegradeLevel::from_index(self.degrade.level()),
+            transient_failures: self.degrade.transients.load(Ordering::Relaxed),
+            journal_lost: self
+                .journal
+                .as_ref()
+                .is_some_and(|sink| sink.lost().is_some()),
+        }
+    }
+
+    /// The tile-thread reservation jobs claimed *now* actually get: the
+    /// configured [`Sweep::tile_threads`], shed to 1 once the degradation
+    /// ladder reaches
+    /// [`ShedTileThreads`](fusion_types::error::DegradeLevel). The grid
+    /// systems are single-tile, so shedding the reservation frees budget
+    /// without changing any result; multi-tile consumers read this
+    /// instead of [`Sweep::tile_threads_per_job`] to honor the ladder.
+    pub fn effective_tile_threads(&self) -> usize {
+        if self.degrade.level() >= LEVEL_SHED_TILE {
+            1
+        } else {
+            self.tile_threads
+        }
     }
 
     /// The worker count this sweep would use for `jobs` jobs. Auto-sized
@@ -625,19 +779,38 @@ impl Sweep {
                     }
                 });
             }
-            for _ in 0..workers {
-                scope.spawn(|| {
+            let cursor = &cursor;
+            let stop = &stop;
+            let workers_done = &workers_done;
+            let cancels = &cancels;
+            let started = &started;
+            for w in 0..workers {
+                scope.spawn(move || {
                     loop {
                         if self.fail_fast && stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        // Fail-soft single-job mode: once the ladder
+                        // bottoms out, only worker 0 keeps claiming —
+                        // minimum footprint, grid order, same results.
+                        if w != 0 && self.degrade.level() >= LEVEL_SINGLE_JOB {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
+                        if self.faults.fault_for(i) == Some(Fault::WorkerKill) {
+                            // Chaos kill: this worker dies mid-claim, the
+                            // slot stays empty — the in-process stand-in
+                            // for a SIGKILL. The rest of the pool keeps
+                            // going; a journaled sweep resumes the point.
+                            break;
+                        }
                         let queue_delay = duration_nanos_saturating(submitted.elapsed());
                         started[i].start(duration_millis_saturating(submitted.elapsed()));
 
                         let max_attempts = 1 + self.retries;
                         let mut attempts = 0u32;
+                        let mut backoff = 0u64;
                         let (mut result, memo_row) = loop {
                             attempts += 1;
                             let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -656,8 +829,20 @@ impl Sweep {
                                 ),
                             };
                             match r {
-                                Err(e) if e.is_transient() && attempts < max_attempts => continue,
-                                other => break (other, row),
+                                Err(e) if e.is_transient() && attempts < max_attempts => {
+                                    self.degrade.note_transient();
+                                    let spin =
+                                        backoff_cycles(attempts, self.watchdog.max_sim_cycles);
+                                    backoff = backoff.saturating_add(spin);
+                                    apply_backoff(spin);
+                                    continue;
+                                }
+                                other => {
+                                    if matches!(&other, Err(e) if e.is_transient()) {
+                                        self.degrade.note_transient();
+                                    }
+                                    break (other, row);
+                                }
                             }
                         };
                         started[i].finish();
@@ -666,6 +851,21 @@ impl Sweep {
                             res.metrics.queue_delay_nanos = queue_delay;
                         } else if self.fail_fast {
                             stop.store(true, Ordering::Relaxed);
+                        }
+                        // Write-ahead discipline: the journal row is on
+                        // disk (fsync'd) before the result is published
+                        // into its slot, so every visible completion is
+                        // recoverable after a crash.
+                        if let (Some(sink), Ok(res)) = (&self.journal, &result) {
+                            let trace = self.traces.get(job.suite, self.scale);
+                            sink.record(&journal::JournalRow::for_result(
+                                job,
+                                self.scale,
+                                res,
+                                attempts,
+                                backoff,
+                                trace.fingerprint(),
+                            ));
                         }
                         // Poison recovery: a slot mutex poisoned by a panic
                         // on another worker still holds writable storage —
@@ -677,6 +877,7 @@ impl Sweep {
                                 job: job.clone(),
                                 result,
                                 attempts,
+                                backoff,
                                 memo: memo_row,
                             });
                     }
@@ -712,6 +913,11 @@ impl Sweep {
             Some(Fault::TransientPanic { failures }) if attempt <= failures => {
                 panic!("injected fault: transient panic in {label} (attempt {attempt})")
             }
+            // Cancellation storm: the first attempt starts with its cancel
+            // flag already raised, so the run aborts at the next
+            // arbitration point with a transient `WallClock` timeout;
+            // retries see a cleared flag and complete normally.
+            Some(Fault::CancelStorm) => cancel.store(attempt == 1, Ordering::Relaxed),
             _ => {}
         }
 
@@ -781,9 +987,11 @@ impl Sweep {
         // Memo eligibility: faulted jobs and checker-enabled configs never
         // consult the cache — their results depend on more than the
         // signature slices claim, and a faulty run must not poison or be
-        // served by healthy neighbors.
+        // served by healthy neighbors. Past the memo-off rung of the
+        // degradation ladder the cache is bypassed entirely (results are
+        // A/B-identical either way; only throughput is sacrificed).
         let memo_cache = match (&self.memo, fault, cfg.checker.enabled) {
-            (Some(m), None, false) => Some(m),
+            (Some(m), None, false) if self.degrade.level() < LEVEL_MEMO_OFF => Some(m),
             _ => None,
         };
         match memo_cache {

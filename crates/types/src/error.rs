@@ -167,6 +167,190 @@ impl From<InvariantViolation> for SimError {
     }
 }
 
+/// Everything that can go wrong around the sweep's write-ahead result
+/// journal (`fusion_core::journal`, DESIGN.md §14).
+///
+/// The journal is a durability layer, so its errors are deliberately
+/// separated from [`SimError`]: a journal failure never invalidates a
+/// simulation result, it only degrades crash recovery. Two variants are
+/// *usage* errors ([`JournalError::is_usage`]) — resuming against a
+/// journal written by different code or at a different scale is operator
+/// error, reported before any job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying file operation failed (open, write, fsync).
+    Io {
+        /// What failed, including the path.
+        detail: String,
+    },
+    /// A journal line could not be interpreted even though its seal
+    /// verified (missing fields, wrong kinds, inconsistent payload).
+    Malformed {
+        /// 1-based journal line.
+        line: usize,
+        /// What the reader tripped over.
+        detail: String,
+    },
+    /// `--resume` against a journal written by a different code version:
+    /// journaled results cannot be trusted to match what the current
+    /// binary would compute.
+    CodeVersionMismatch {
+        /// Version recorded in the journal header.
+        found: String,
+        /// Version of the running binary.
+        expected: String,
+    },
+    /// `--resume` against a journal written at a different workload scale.
+    ScaleMismatch {
+        /// Scale recorded in the journal header.
+        found: String,
+        /// Scale of the resuming sweep.
+        expected: String,
+    },
+    /// The journal device is out of space (or the injected disk-full
+    /// quota of the chaos harness was exhausted).
+    DiskFull {
+        /// Where and at what size the write was refused.
+        detail: String,
+    },
+}
+
+impl JournalError {
+    /// Whether this error is an operator mistake (exit code 2 in the CLI)
+    /// rather than a runtime failure (exit code 1).
+    pub fn is_usage(&self) -> bool {
+        matches!(
+            self,
+            JournalError::CodeVersionMismatch { .. } | JournalError::ScaleMismatch { .. }
+        )
+    }
+
+    /// Short taxonomy label (stable, used by warnings and tests).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            JournalError::Io { .. } => "io",
+            JournalError::Malformed { .. } => "malformed",
+            JournalError::CodeVersionMismatch { .. } => "code-version",
+            JournalError::ScaleMismatch { .. } => "scale",
+            JournalError::DiskFull { .. } => "disk-full",
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { detail } => write!(f, "journal I/O failed: {detail}"),
+            JournalError::Malformed { line, detail } => {
+                write!(f, "journal line {line} malformed: {detail}")
+            }
+            JournalError::CodeVersionMismatch { found, expected } => write!(
+                f,
+                "journal was written by code version '{found}' but this binary is '{expected}'; \
+                 re-run without --resume"
+            ),
+            JournalError::ScaleMismatch { found, expected } => write!(
+                f,
+                "journal was written at scale '{found}' but this sweep runs at '{expected}'; \
+                 re-run without --resume"
+            ),
+            JournalError::DiskFull { detail } => write!(f, "journal device full: {detail}"),
+        }
+    }
+}
+
+impl Error for JournalError {}
+
+/// How far the sweep's graceful-degradation ladder has descended
+/// (DESIGN.md §14). Each rung sheds capability, never correctness:
+/// degraded sweeps produce byte-identical simulated results, they just
+/// produce them with less parallelism and less caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradeLevel {
+    /// Nothing shed: full tile-thread reservation, memo on.
+    #[default]
+    Full,
+    /// Per-job tile-thread reservations shed to 1 (memory pressure from
+    /// parallel tile replicas is the first thing to give back).
+    ShedTileThreads,
+    /// Phase-memo cache additionally disabled for newly claimed jobs
+    /// (its retained producer results are the next-largest allocation).
+    MemoOff,
+    /// Fail-soft single-job mode: one worker, one job at a time, minimum
+    /// footprint — the last rung before giving up.
+    SingleJob,
+}
+
+impl DegradeLevel {
+    /// Stable lowercase label (salvage reports, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeLevel::Full => "full",
+            DegradeLevel::ShedTileThreads => "shed-tile-threads",
+            DegradeLevel::MemoOff => "memo-off",
+            DegradeLevel::SingleJob => "single-job",
+        }
+    }
+
+    /// Ladder rung as an index (0 = full service).
+    pub fn index(self) -> usize {
+        match self {
+            DegradeLevel::Full => 0,
+            DegradeLevel::ShedTileThreads => 1,
+            DegradeLevel::MemoOff => 2,
+            DegradeLevel::SingleJob => 3,
+        }
+    }
+
+    /// The rung for an index (clamped to the deepest rung).
+    pub fn from_index(i: usize) -> DegradeLevel {
+        match i {
+            0 => DegradeLevel::Full,
+            1 => DegradeLevel::ShedTileThreads,
+            2 => DegradeLevel::MemoOff,
+            _ => DegradeLevel::SingleJob,
+        }
+    }
+}
+
+impl fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Degradation metadata a sweep reports alongside its outcomes: how far
+/// the ladder descended, what drove it there, and whether the journal was
+/// lost along the way. Carried in the salvage report on fatal exit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Deepest ladder rung reached during the sweep.
+    pub level: DegradeLevel,
+    /// Transient failures (panics, timeouts, cancellations) observed —
+    /// the ladder's driving signal.
+    pub transient_failures: u64,
+    /// Whether the write-ahead journal died mid-sweep (disk full, I/O
+    /// error) and later completions are unprotected.
+    pub journal_lost: bool,
+}
+
+impl Degraded {
+    /// Whether anything was shed.
+    pub fn is_degraded(&self) -> bool {
+        self.level != DegradeLevel::Full || self.journal_lost
+    }
+
+    /// Machine-readable rendering for the salvage report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"level\":\"{}\",\"transient_failures\":{},\"journal_lost\":{}}}",
+            self.level.label(),
+            self.transient_failures,
+            self.journal_lost
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,12 +1,15 @@
 //! Robustness and rare-path coverage: inclusive-L2 recalls into the tile,
 //! trace-replay equivalence, and decoder fuzzing (seeded deterministic
-//! random input via `common::Rng`).
+//! random input via `common::Rng`) — for both the trace codec and the
+//! write-ahead journal codec (DESIGN.md §14).
 
 mod common;
 
 use common::Rng;
 use fusion_repro::accel::io::{decode_workload, encode_workload, read_workload, write_workload};
+use fusion_repro::core::journal::{self, JournalHeader, JournalRow};
 use fusion_repro::core::runner::{run_system, SystemKind};
+use fusion_repro::core::{full_grid, SweepJob};
 use fusion_repro::types::{CacheGeometry, SystemConfig};
 use fusion_repro::workloads::{all_suites, build_suite, Scale, SuiteId};
 
@@ -167,5 +170,218 @@ fn decoder_survives_resealed_structural_corruption() {
             decode_workload(&bytes).is_err(),
             "truncated-to-{keep} trace was accepted"
         );
+    }
+}
+
+// ---- write-ahead journal codec (DESIGN.md §14), fuzzed the same way ----
+
+/// The `SimResult` "system" string a journal row for this system label
+/// must embed.
+fn result_system(label: &str) -> &'static str {
+    match label {
+        "SC" => "SCRATCH",
+        "SH" => "SHARED",
+        "FU" => "FUSION",
+        "FU-Dx" => "FUSION-Dx",
+        other => panic!("unknown system label {other}"),
+    }
+}
+
+/// A structurally valid journal row for a real grid job (constant trace
+/// fingerprint `0x7e57`, matched by the resume closures below).
+fn wal_row(job: &SweepJob) -> JournalRow {
+    JournalRow {
+        system: job.system.label().to_string(),
+        suite: job.suite.label().to_string(),
+        scale: "tiny".to_string(),
+        variant: job.variant.clone(),
+        config_hash: journal::config_fingerprint(&job.config),
+        code_version: journal::code_version(),
+        trace_fingerprint: 0x7e57,
+        attempts: 1,
+        backoff: 0,
+        sim_events: 5,
+        refs: 9,
+        result_json: format!(
+            "{{\"system\":\"{}\",\"total_cycles\":1}}",
+            result_system(job.system.label())
+        ),
+    }
+}
+
+fn wal_header(grid: usize) -> JournalHeader {
+    JournalHeader {
+        scale: "tiny".to_string(),
+        code_version: journal::code_version(),
+        grid,
+    }
+}
+
+/// The journal reader never panics on arbitrary bytes.
+#[test]
+fn journal_reader_never_panics_on_garbage() {
+    let mut rng = Rng::new(0x3A11);
+    for _ in 0..256 {
+        let len = rng.range_usize(0, 512);
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.range_u8(0, 255)).collect();
+        // Sprinkle newlines so the line splitter has real work to do.
+        for _ in 0..len / 16 {
+            let i = rng.range_usize(0, len);
+            bytes[i] = b'\n';
+        }
+        let rec = journal::read_journal(&bytes);
+        assert!(rec.rows.is_empty(), "garbage decoded to a row");
+    }
+}
+
+/// Bit-flipping a valid journal never panics and never splices: every
+/// surviving row is byte-identical to one of the originals.
+#[test]
+fn journal_survives_bit_flips_without_splicing() {
+    let jobs = full_grid(&SystemConfig::small());
+    let rows: Vec<JournalRow> = jobs.iter().take(4).map(wal_row).collect();
+    let mut text = journal::encode_header(&wal_header(jobs.len()));
+    text.push('\n');
+    for r in &rows {
+        text.push_str(&journal::encode_row(r));
+        text.push('\n');
+    }
+    let pristine = text.into_bytes();
+    let mut rng = Rng::new(0xF1A6);
+    for _ in 0..256 {
+        let mut bytes = pristine.clone();
+        let i = rng.range_usize(0, bytes.len());
+        bytes[i] ^= 1 << rng.range_u8(0, 8);
+        let rec = journal::read_journal(&bytes);
+        assert!(rec.rows.len() <= rows.len());
+        for row in &rec.rows {
+            assert!(
+                rows.contains(row),
+                "bit flip at {i} spliced a damaged row: {row:?}"
+            );
+        }
+    }
+}
+
+/// Corruption hiding behind a *valid* seal — the adversarial case for the
+/// structural checks and the resume verification. Each forgery must be
+/// dropped or re-run, never panic and never splice.
+#[test]
+fn resealed_journal_forgeries_are_contained() {
+    let jobs = full_grid(&SystemConfig::small());
+    let header = journal::encode_header(&wal_header(jobs.len()));
+    let mut fp = |_suite: SuiteId| 0x7e57u64;
+
+    // A row claiming SC whose payload came from a FUSION run, resealed:
+    // the structural cross-check rejects it.
+    let mut splice = wal_row(&jobs[0]);
+    "SC".clone_into(&mut splice.system);
+    splice.result_json = "{\"system\":\"FUSION\",\"total_cycles\":1}".to_string();
+    let text = format!("{header}\n{}\n", journal::encode_row(&splice));
+    let rec = journal::read_journal(text.as_bytes());
+    assert!(rec.rows.is_empty());
+    assert!(
+        rec.warnings.iter().any(|w| w.contains("does not belong")),
+        "{:?}",
+        rec.warnings
+    );
+
+    // A half-truncated payload, resealed: the balanced-object check
+    // rejects it.
+    let mut torn = wal_row(&jobs[1]);
+    torn.result_json = format!(
+        "{{\"system\":\"{}\",\"x\":{{",
+        result_system(jobs[1].system.label())
+    );
+    let text = format!("{header}\n{}\n", journal::encode_row(&torn));
+    let rec = journal::read_journal(text.as_bytes());
+    assert!(rec.rows.is_empty());
+
+    // A stale code version with a valid seal: decoded, but resume
+    // verification re-runs the point instead of splicing it.
+    let mut stale = wal_row(&jobs[2]);
+    stale.code_version = "0.0.0+wal0".to_string();
+    let text = format!("{header}\n{}\n", journal::encode_row(&stale));
+    let rec = journal::read_journal(text.as_bytes());
+    assert_eq!(rec.rows.len(), 1);
+    let plan =
+        journal::plan_resume(&jobs, Scale::Tiny, &rec, &journal::code_version(), &mut fp).unwrap();
+    assert_eq!(plan.resumed_count(), 0);
+    assert!(
+        plan.warnings.iter().any(|w| w.contains("stale")),
+        "{:?}",
+        plan.warnings
+    );
+
+    // A key tampered toward a grid point that doesn't exist: an orphan,
+    // warned about and ignored — every live job still re-runs.
+    let mut orphan = wal_row(&jobs[3]);
+    orphan.variant = "l0x999k".to_string();
+    let text = format!("{header}\n{}\n", journal::encode_row(&orphan));
+    let rec = journal::read_journal(text.as_bytes());
+    let plan =
+        journal::plan_resume(&jobs, Scale::Tiny, &rec, &journal::code_version(), &mut fp).unwrap();
+    assert_eq!(plan.resumed_count(), 0);
+    assert!(
+        plan.warnings
+            .iter()
+            .any(|w| w.contains("match no current grid point")),
+        "{:?}",
+        plan.warnings
+    );
+}
+
+/// Interleaved duplicate keys (two writers raced, or a splice): every
+/// copy is dropped with a warning and the point re-runs — splicing either
+/// copy silently would be guessing.
+#[test]
+fn interleaved_duplicate_keys_are_skipped_and_rerun() {
+    let jobs = full_grid(&SystemConfig::small());
+    let a = wal_row(&jobs[0]);
+    let b = wal_row(&jobs[1]);
+    let mut dup = wal_row(&jobs[0]);
+    dup.sim_events = 999; // divergent duplicate — neither copy is trustworthy
+    let text = format!(
+        "{}\n{}\n{}\n{}\n",
+        journal::encode_header(&wal_header(jobs.len())),
+        journal::encode_row(&a),
+        journal::encode_row(&b),
+        journal::encode_row(&dup),
+    );
+    let rec = journal::read_journal(text.as_bytes());
+    assert_eq!(rec.rows.len(), 1, "only the unduplicated row survives");
+    assert_eq!(rec.rows[0], b);
+    assert!(rec.warnings.iter().any(|w| w.contains("duplicate")));
+
+    let mut fp = |_suite: SuiteId| 0x7e57u64;
+    let plan =
+        journal::plan_resume(&jobs, Scale::Tiny, &rec, &journal::code_version(), &mut fp).unwrap();
+    assert_eq!(plan.resumed_count(), 1);
+    assert!(plan.resumed[0].is_none(), "duplicated key must re-run");
+    assert!(plan.resumed[1].is_some());
+}
+
+/// Tearing the journal at every byte of its tail never panics and never
+/// loses the verified prefix.
+#[test]
+fn torn_tails_at_every_byte_keep_the_prefix() {
+    let jobs = full_grid(&SystemConfig::small());
+    let a = wal_row(&jobs[0]);
+    let b = wal_row(&jobs[1]);
+    let text = format!(
+        "{}\n{}\n{}\n",
+        journal::encode_header(&wal_header(jobs.len())),
+        journal::encode_row(&a),
+        journal::encode_row(&b),
+    );
+    let bytes = text.as_bytes();
+    let second_row_start = text.len() - (journal::encode_row(&b).len() + 1);
+    for cut in second_row_start..bytes.len() {
+        let rec = journal::read_journal(&bytes[..cut]);
+        assert!(rec.header.is_some(), "cut {cut} lost the header");
+        assert_eq!(rec.rows[0], a, "cut {cut} lost the first row");
+        if cut < bytes.len() {
+            assert!(rec.rows.len() == 1 || cut == bytes.len() - 1);
+        }
     }
 }

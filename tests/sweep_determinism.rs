@@ -6,6 +6,7 @@
 //! `RunMetrics`, so the guarantee is expressible as plain `==` between
 //! the parallel outcomes and sequential `run_system` calls.
 
+use fusion_core::journal::{self, JournalHeader, JournalSink, JournalWriter};
 use fusion_core::{design_grid, full_grid, run_system, MemoMark, Sweep, TraceCache};
 use fusion_types::SystemConfig;
 use fusion_workloads::{build_suite, Scale};
@@ -101,4 +102,55 @@ fn memo_on_matches_memo_off_over_design_grid() {
     // level splice needs *every* phase independent, so SC jobs on the
     // scratchpad axis replay. 42 + 63 = 105 spliced points.
     assert_eq!(hits, 105, "design grid must splice every eligible point");
+}
+
+/// The determinism guarantee survives `--journal`: recording the
+/// write-ahead journal changes nothing about the outcomes, and the
+/// journal it leaves behind resumes the whole grid with payloads
+/// byte-identical to what the jobs produced (DESIGN.md §14).
+#[test]
+fn journaled_sweep_matches_plain_sweep_and_is_fully_resumable() {
+    let cfg = SystemConfig::small();
+    let jobs = full_grid(&cfg);
+    let traces = std::sync::Arc::new(TraceCache::new());
+    let plain = Sweep::new(Scale::Tiny)
+        .with_trace_cache(std::sync::Arc::clone(&traces))
+        .run(jobs.clone());
+
+    let path = std::env::temp_dir().join(format!("fusion_det_wal_{}.jsonl", std::process::id()));
+    let header = JournalHeader {
+        scale: "tiny".to_string(),
+        code_version: journal::code_version(),
+        grid: jobs.len(),
+    };
+    let writer = JournalWriter::create(&path, &header).unwrap();
+    let journaled = Sweep::new(Scale::Tiny)
+        .with_trace_cache(std::sync::Arc::clone(&traces))
+        .with_journal(std::sync::Arc::new(JournalSink::new(writer)))
+        .run(jobs.clone());
+
+    for (x, y) in plain.iter().zip(&journaled) {
+        assert_eq!(
+            x.result,
+            y.result,
+            "{}: journaling changed a result",
+            x.job.label()
+        );
+    }
+
+    let rec = journal::read_journal(&std::fs::read(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+    assert!(rec.warnings.is_empty(), "{:?}", rec.warnings);
+    let mut fp = |suite| traces.get(suite, Scale::Tiny).fingerprint();
+    let plan =
+        journal::plan_resume(&jobs, Scale::Tiny, &rec, &journal::code_version(), &mut fp).unwrap();
+    assert_eq!(plan.resumed_count(), jobs.len(), "every point must resume");
+    for (row, outcome) in plan.resumed.iter().zip(&plain) {
+        assert_eq!(
+            row.as_ref().unwrap().result_json,
+            outcome.result.as_ref().unwrap().to_json(),
+            "{}: journaled payload diverged",
+            outcome.job.label()
+        );
+    }
 }
