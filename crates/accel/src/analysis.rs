@@ -120,15 +120,18 @@ pub fn dma_windows(phase: &Phase, capacity_blocks: usize) -> Vec<DmaWindow> {
         if range.0 == range.1 {
             return;
         }
+        // Each collect is sorted immediately: `resident` is an Fx map, so
+        // the raw iteration order is insertion-dependent and must never
+        // reach the window lists unsorted.
         let mut dma_in: Vec<BlockAddr> = resident
             .iter()
             .filter_map(|(b, &(_, is_read))| is_read.then_some(*b))
             .collect();
+        dma_in.sort_unstable();
         let mut dma_out: Vec<BlockAddr> = resident
             .iter()
             .filter_map(|(b, &(dirty, _))| dirty.then_some(*b))
             .collect();
-        dma_in.sort_unstable();
         dma_out.sort_unstable();
         resident.clear();
         windows.push(DmaWindow {

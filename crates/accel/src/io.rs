@@ -124,6 +124,20 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
+/// Length/count fields are encoded into fixed-width wire slots. Real
+/// workloads sit far below the limits (phases and strings in the tens,
+/// refs in the millions); saturating keeps encode infallible while
+/// guaranteeing an out-of-range count can never wrap onto a small value
+/// that would decode as a plausible — but wrong — trace.
+fn wire_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// See [`wire_u32`].
+fn wire_u16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
+
 /// Encodes `workload` into its binary trace representation.
 pub fn encode_workload(workload: &Workload) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + workload.total_refs() as usize * 6);
@@ -131,18 +145,18 @@ pub fn encode_workload(workload: &Workload) -> Vec<u8> {
     buf.put_u16_le(VERSION);
     buf.put_u32_le(workload.pid.value());
     put_str(&mut buf, &workload.name);
-    buf.put_u32_le(workload.phases.len() as u32);
+    buf.put_u32_le(wire_u32(workload.phases.len()));
     for p in &workload.phases {
         put_str(&mut buf, &p.name);
         match p.unit {
             ExecUnit::Host => buf.put_u16_le(u16::MAX),
             ExecUnit::Axc(id) => buf.put_u16_le(id.value()),
         }
-        buf.put_u16_le(p.mlp as u16);
+        buf.put_u16_le(wire_u16(p.mlp));
         buf.put_u32_le(p.lease);
         buf.put_u64_le(p.ops.int_ops);
         buf.put_u64_le(p.ops.fp_ops);
-        buf.put_u32_le(p.refs.len() as u32);
+        buf.put_u32_le(wire_u32(p.refs.len()));
         let mut prev = 0u64;
         for r in &p.refs {
             // Delta-encoded address (zigzag), then size/kind/gap packed.
@@ -299,7 +313,7 @@ pub fn read_workload<R: Read>(mut reader: R) -> Result<Workload, SimError> {
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    buf.put_u16_le(s.len() as u16);
+    buf.put_u16_le(wire_u16(s.len()));
     buf.put_slice(s.as_bytes());
 }
 

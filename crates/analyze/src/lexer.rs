@@ -1,0 +1,561 @@
+//! A lightweight Rust lexer: just enough token accuracy for source lints.
+//!
+//! The previous workspace lint (`crates/verify/src/bin/lint.rs`, retired in
+//! favor of this crate) matched raw substrings per line, which meant it
+//! (a) flagged its own needle constants unless they were assembled with
+//! `concat!`, (b) flagged occurrences inside string literals and block
+//! comments, and (c) only recognized the *trailing* `#[cfg(test)]` module.
+//! This lexer removes that whole class of false positives: passes see a
+//! token stream in which comments and literals are first-class kinds, and
+//! every `#[cfg(test)]` / `#[test]` item — wherever it sits in the file —
+//! is tracked as a test region.
+//!
+//! Deliberately *not* a full Rust lexer: no float-suffix edge cases, no
+//! `macro_rules!` awareness beyond plain token text. It handles the parts
+//! that change lint verdicts:
+//!
+//! * line comments, nested block comments (recorded, with line numbers,
+//!   so `lint:allow-*` markers are only honored inside comments);
+//! * string / raw-string / byte-string / char literals (raw strings with
+//!   any `#` count), so nothing inside them ever tokenizes;
+//! * `'a` lifetimes vs `'a'` char literals;
+//! * `::` as a single path-separator token (simplifies path matching);
+//! * `#[cfg(test)]` / `#[test]` attributed items, including attribute
+//!   stacking, `mod name;` forms, and arbitrary nesting depth.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `as`, `u32`).
+    Ident,
+    /// Numeric literal, including suffixes (`42u64`, `0x7f`, `1.5`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Punctuation. Single characters, except `::` which is one token.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A comment span (line or block), kept out of the token stream but
+/// recorded for marker lookup.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals or comments consume to end of file
+/// rather than erroring: a lint must never crash on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of the current line's start
+
+    macro_rules! push_tok {
+        ($kind:expr, $start:expr, $end:expr, $line:expr, $col:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                start: $start,
+                end: $end,
+                line: $line,
+                col: $col,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let tok_line = line;
+        let tok_col = i - line_start + 1;
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start,
+                    end: i,
+                    line: tok_line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start,
+                    end: i,
+                    line: tok_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i);
+                push_tok!(TokKind::Str, start, i, tok_line, tok_col);
+                line += newlines(&bytes[start..i]);
+                if let Some(nl) = last_newline(bytes, start, i) {
+                    line_start = nl + 1;
+                }
+            }
+            b'r' | b'b' if raw_prefix_len(bytes, i).is_some() => {
+                // r"…", r#"…"#, br"…", b"…" — every raw/byte string flavor.
+                let start = i;
+                // lint:allow-unwrap — guarded by the match arm's is_some()
+                let (prefix, hashes) = raw_prefix_len(bytes, i).unwrap();
+                i += prefix;
+                i = if hashes == usize::MAX {
+                    skip_string(bytes, i) // b"…": escapes allowed
+                } else {
+                    skip_raw_string(bytes, i, hashes)
+                };
+                push_tok!(TokKind::Str, start, i, tok_line, tok_col);
+                line += newlines(&bytes[start..i]);
+                if let Some(nl) = last_newline(bytes, start, i) {
+                    line_start = nl + 1;
+                }
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let start = i;
+                i = skip_char(bytes, i + 1);
+                push_tok!(TokKind::Char, start, i, tok_line, tok_col);
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'` + ident-start is a lifetime
+                // unless the ident is one char followed by a closing `'`.
+                let start = i;
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i = skip_char(bytes, i);
+                    push_tok!(TokKind::Char, start, i, tok_line, tok_col);
+                } else if bytes
+                    .get(i + 1)
+                    .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_')
+                {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        i = j + 1;
+                        push_tok!(TokKind::Char, start, i, tok_line, tok_col);
+                    } else {
+                        i = j;
+                        push_tok!(TokKind::Lifetime, start, i, tok_line, tok_col);
+                    }
+                } else {
+                    i = skip_char(bytes, i);
+                    push_tok!(TokKind::Char, start, i, tok_line, tok_col);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if b == b'.'
+                        && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && bytes.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        i += 1; // decimal point, not a range or method call
+                    } else {
+                        break;
+                    }
+                }
+                push_tok!(TokKind::Num, start, i, tok_line, tok_col);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                push_tok!(TokKind::Ident, start, i, tok_line, tok_col);
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                push_tok!(TokKind::Punct, i, i + 2, tok_line, tok_col);
+                i += 2;
+            }
+            _ => {
+                push_tok!(TokKind::Punct, i, i + 1, tok_line, tok_col);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Raw/byte string prefix at `i`: returns `(prefix_len, hash_count)`.
+/// `hash_count == usize::MAX` marks a plain `b"…"` (escaped, not raw).
+fn raw_prefix_len(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let rest = &bytes[i..];
+    let after = |p: usize| -> Option<(usize, usize)> {
+        // after the r/br prefix: zero or more '#', then '"'
+        let mut h = 0;
+        while rest.get(p + h) == Some(&b'#') {
+            h += 1;
+        }
+        (rest.get(p + h) == Some(&b'"')).then_some((p + h, h))
+    };
+    match rest {
+        [b'r', ..] => after(1),
+        [b'b', b'r', ..] => after(2),
+        [b'b', b'"', ..] => Some((1, usize::MAX)),
+        _ => None,
+    }
+}
+
+/// Advances past a `"…"` string starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Advances past a raw string body starting at the opening quote, with
+/// `hashes` trailing `#`s required to close it.
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Advances past a char literal starting at the opening quote.
+fn skip_char(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // unterminated; don't swallow the file
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
+}
+
+fn last_newline(bytes: &[u8], start: usize, end: usize) -> Option<usize> {
+    bytes[start..end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| start + p)
+}
+
+/// Marks every token inside a `#[cfg(test)]` / `#[test]` item. Returns a
+/// bool per token: `true` means "this token is test code".
+///
+/// Recognition: an attribute whose token stream contains the identifier
+/// `test` with either `cfg` or `test` as its first identifier (covers
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`). The region spans
+/// any stacked attributes and the following item — up to the matching `}`
+/// of its body, or the first `;` for bodiless items (`mod tests;`).
+pub fn test_regions(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let text = |t: &Token| &src[t.start..t.end];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && text(&tokens[i]) == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = attr_close(src, tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(src, tokens, i + 2, attr_end) {
+            i += 1;
+            continue;
+        }
+        // Skip any further stacked attributes after the test attribute.
+        let mut j = attr_end + 1;
+        while j < tokens.len() && tokens[j].kind == TokKind::Punct && text(&tokens[j]) == "#" {
+            match attr_close(src, tokens, j) {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Find the item's extent: first `;` or brace-matched `{ … }` at
+        // nesting depth 0 relative to here.
+        let mut depth = 0i64;
+        let mut k = j;
+        let mut end = tokens.len().saturating_sub(1);
+        while k < tokens.len() {
+            let t = text(&tokens[k]);
+            match t {
+                ";" if depth == 0 => {
+                    end = k;
+                    break;
+                }
+                "{" => {
+                    if depth == 0 {
+                        // Body found: run to the matching close brace.
+                        let mut b = 0i64;
+                        let mut m = k;
+                        while m < tokens.len() {
+                            match text(&tokens[m]) {
+                                "{" => b += 1,
+                                "}" => {
+                                    b -= 1;
+                                    if b == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        end = m.min(tokens.len() - 1);
+                        break;
+                    }
+                    depth += 1;
+                }
+                "(" | "[" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+/// Token index of the `]` closing the attribute opened by `#` at `i`
+/// (requires `[` at `i + 1`).
+fn attr_close(src: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    let text = |t: &Token| &src[t.start..t.end];
+    if tokens.get(i + 1).map(text) != Some("[") {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        match text(t) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the attribute token range `[start, end)` marks test code.
+fn attr_is_test(src: &str, tokens: &[Token], start: usize, end: usize) -> bool {
+    let idents: Vec<&str> = tokens[start..end]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| &src[t.start..t.end])
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts_and_path_sep() {
+        let ks = kinds("let x: u32 = 0x7f_u32; a::b(1.5)");
+        let texts: Vec<&str> = ks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", ":", "u32", "=", "0x7f_u32", ";", "a", "::", "b", "(", "1.5", ")"]
+        );
+        assert_eq!(ks[1].0, TokKind::Ident);
+        assert_eq!(ks[5].0, TokKind::Num);
+        assert_eq!(ks[8].0, TokKind::Punct); // `::` is one token
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_tokenize() {
+        let src = r##"let s = "std::collections::HashMap"; // .unwrap()
+            /* Instant::now() in /* nested */ block */ let t = 1;"##;
+        let texts: Vec<String> = kinds(src).into_iter().map(|(_, s)| s).collect();
+        assert!(texts.contains(&"s".to_string()));
+        assert!(texts.contains(&"t".to_string()));
+        assert!(!texts.contains(&"HashMap".to_string()));
+        assert!(!texts.contains(&"unwrap".to_string()));
+        assert!(!texts.contains(&"Instant".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src = r###"let a = r#"no "unwrap" here"#; let b = br"x"; let c = b"y\"z";"###;
+        // Nothing inside a raw/byte string tokenizes as an identifier.
+        let idents: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert!(!idents.iter().any(|t| t.contains("unwrap")));
+        let strs = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| &src[t.start..t.end] == "b")
+            .expect("b token");
+        assert_eq!(b.line, 3);
+        assert_eq!(b.col, 5);
+    }
+
+    #[test]
+    fn test_region_covers_attributed_items_anywhere() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn also_live() { }\n#[test]\nfn unit() { y.unwrap(); }\nfn tail() {}";
+        let lexed = lex(src);
+        let in_test = test_regions(src, &lexed.tokens);
+        let flag_of = |name: &str| {
+            let idx = lexed
+                .tokens
+                .iter()
+                .position(|t| &src[t.start..t.end] == name)
+                .expect("token present");
+            in_test[idx]
+        };
+        assert!(!flag_of("live"));
+        assert!(flag_of("tests"));
+        assert!(flag_of("x"));
+        assert!(!flag_of("also_live"));
+        assert!(flag_of("unit"));
+        assert!(flag_of("y"));
+        assert!(!flag_of("tail"));
+    }
+
+    #[test]
+    fn cfg_all_test_and_bodiless_mod() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn t() { a.unwrap(); }\n#[cfg(test)]\nmod tests;\nfn live() {}";
+        let lexed = lex(src);
+        let in_test = test_regions(src, &lexed.tokens);
+        let idx = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| &src[t.start..t.end] == name)
+                .expect("token present")
+        };
+        assert!(in_test[idx("a")]);
+        assert!(in_test[idx("tests")]);
+        assert!(!in_test[idx("live")]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang_or_panic() {
+        for src in ["let s = \"abc", "let s = r#\"abc", "/* open", "let c = '"] {
+            let lexed = lex(src);
+            // Must terminate and produce something bounded.
+            assert!(lexed.tokens.len() + lexed.comments.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! `cast-truncate`: narrowing `as` casts outside the saturating helpers.
+//!
+//! Invariant (PR 5): durations and counters saturate instead of silently
+//! wrapping. The hand-audit that introduced `duration_millis_saturating`
+//! / `duration_nanos_saturating` in `crates/core/src/result.rs` is locked
+//! in here: a narrowing `as` that truncates at runtime is a latent
+//! wrong-stats bug, not a style issue.
+//!
+//! Three type-accurate patterns (conservative — parenthesized or masked
+//! expressions are not flagged, since the mask may already bound the
+//! value):
+//! 1. `.as_millis()/.as_nanos()/.as_micros() as _` — `u128` → anything
+//!    narrower; use the saturating helpers.
+//! 2. `ident as T` where `ident`'s declared integer width exceeds `T`'s.
+//!    Declarations are gathered from every `ident: <int-type>` annotation
+//!    in the file (lets, params, struct fields); names declared with
+//!    conflicting widths are treated as unknown.
+//! 3. `.len() as T` for `T` narrower than 64 bits (`len()` is `usize`).
+
+use super::{diag, int_width, is_ident, seq, t};
+use crate::{Diagnostic, Pass, SourceFile};
+use fusion_types::FxHashMap;
+
+/// Home of the sanctioned saturating conversions.
+const EXEMPT: &str = "crates/core/src/result.rs";
+
+const HINT: &str = "narrowing `as` silently truncates; use the saturating helpers in \
+crates/core/src/result.rs or an explicit try_from with a justified fallback";
+
+pub struct CastTruncate;
+
+impl Pass for CastTruncate {
+    fn id(&self) -> &'static str {
+        "cast-truncate"
+    }
+
+    fn description(&self) -> &'static str {
+        "narrowing `as` casts outside the saturating helpers (silent truncation)"
+    }
+
+    fn run(&self, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+        for f in files {
+            if f.rel == EXEMPT {
+                continue;
+            }
+            let widths = declared_widths(f);
+            for i in 0..f.tokens.len() {
+                if f.in_test[i] {
+                    continue;
+                }
+                let mut hit = None;
+                // Pattern 1: Duration accessor (u128) fed straight to `as`.
+                if t(f, i) == "."
+                    && matches!(t(f, i + 1), "as_millis" | "as_nanos" | "as_micros")
+                    && seq(f, i + 2, &["(", ")", "as"])
+                {
+                    hit = Some(i + 1);
+                }
+                // Pattern 3: `.len() as T`, T < 64 bits.
+                if seq(f, i, &[".", "len", "(", ")", "as"])
+                    && int_width(t(f, i + 5)).is_some_and(|w| w < 64)
+                {
+                    hit = Some(i + 1);
+                }
+                // Pattern 2: `ident as T` with known wider declaration.
+                if hit.is_none()
+                    && t(f, i) == "as"
+                    && is_ident(f, i.wrapping_sub(1))
+                    && t(f, i.wrapping_sub(1)) != ")"
+                {
+                    if let (Some(&src_w), Some(dst_w)) =
+                        (widths.get(t(f, i - 1)), int_width(t(f, i + 1)))
+                    {
+                        if src_w > dst_w {
+                            hit = Some(i - 1);
+                        }
+                    }
+                }
+                if let Some(at) = hit {
+                    if !f.suppressed("cast-truncate", f.tokens[at].line) {
+                        out.push(diag(f, at, "cast-truncate", HINT));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every `name: <int-type>` annotation in the file (type token not part
+/// of a value path like `u8::MAX`). Conflicting widths ⇒ unknown.
+fn declared_widths(f: &SourceFile) -> FxHashMap<String, u32> {
+    let mut widths: FxHashMap<String, u32> = FxHashMap::default();
+    let mut ambiguous: Vec<String> = Vec::new();
+    for i in 0..f.tokens.len() {
+        if is_ident(f, i) && t(f, i + 1) == ":" && t(f, i + 2) != ":" && t(f, i + 3) != "::" {
+            if let Some(w) = int_width(t(f, i + 2)) {
+                let name = t(f, i).to_string();
+                match widths.get(&name) {
+                    Some(&prev) if prev != w => ambiguous.push(name),
+                    _ => {
+                        widths.insert(name, w);
+                    }
+                }
+            }
+        }
+    }
+    for name in ambiguous {
+        widths.remove(&name);
+    }
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{parse_one, run_pass};
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn duration_accessors_and_len() {
+        let f = parse_one(
+            "fn a(d: std::time::Duration, v: Vec<u8>) -> u64 {\n    let ms = d.as_millis() as u64;\n    let n = v.len() as u32;\n    let ok = v.len() as u64;\n    ms + n as u64 + ok\n}\n",
+        );
+        let ds = run_pass(&CastTruncate, &[f]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].line, 2);
+        assert_eq!(ds[1].line, 3);
+    }
+
+    #[test]
+    fn declared_width_narrowing() {
+        let f = parse_one(
+            "struct S { big: u64, small: u16 }\nfn a(x: u64, y: u32) -> u16 {\n    let a = x as u16;\n    let b = y as u64;\n    a + b as u16 + 0\n}\n",
+        );
+        // `x as u16` narrows; `y as u64` widens; `b` declared via let with
+        // no annotation, width unknown — not flagged.
+        let ds = run_pass(&CastTruncate, &[f]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 3);
+    }
+
+    #[test]
+    fn value_paths_conflicts_exempt_and_markers() {
+        let f = parse_one(
+            "fn a() -> u8 { let m = u8::MAX; m }\nfn b(n: u64) -> u32 { let n2: u32 = 0; n2 }\n// lint:allow-cast-truncate mlp is bounded by MAX_MLP < 256\nfn c(mlp: u64) -> u16 { mlp as u16 }\n",
+        );
+        // `n` vs `n2` distinct; `n` declared u64 in b but never cast;
+        // marker suppresses c.
+        assert!(run_pass(&CastTruncate, &[f]).is_empty());
+        let exempt = SourceFile::parse(
+            EXEMPT.into(),
+            "pub fn f(d: Duration) -> u64 { d.as_millis() as u64 }".into(),
+        );
+        assert!(run_pass(&CastTruncate, &[exempt]).is_empty());
+    }
+}

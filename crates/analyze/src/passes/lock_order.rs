@@ -1,0 +1,377 @@
+//! `lock-order`: static deadlock detection over the workspace's mutexes.
+//!
+//! Invariant: the sweep machinery (durable journal, memo cache, trace
+//! cache) holds multiple locks — `journal.writer` nests `journal.lost`,
+//! workers take per-slot trace locks while the sweep driver samples them.
+//! A future sweep daemon multiplies the interleavings; two call paths
+//! acquiring the same pair of locks in opposite orders is a deadlock
+//! waiting for load. This pass extracts every `.lock()` acquisition per
+//! function, propagates lock sets through calls (fixpoint over the
+//! workspace call graph by name), builds the acquisition-order graph,
+//! and flags cycles.
+//!
+//! Model, deliberately over- and under-approximate in documented ways:
+//! * A lock *node* is `"<crate>/<file-stem>::<leftmost field ident>"` —
+//!   `self.writer.lock()` in `crates/core/src/journal.rs` is
+//!   `core/journal::writer`, `slots_ref[i].lock()` is `…::slots_ref`.
+//!   The same mutex reached from two files is two nodes, so aliased
+//!   cross-file acquisition pairs are missed (never falsely cycled).
+//! * A guard *bound* by the statement (`let g = …lock()`, `if let`,
+//!   `match` scrutinee) is held until end of function — textual order
+//!   over-approximates guard lifetime. A temporary (`x.lock()…;` used
+//!   and dropped in one statement) orders *after* currently-held locks
+//!   but is never itself held.
+//! * Calls propagate: while holding `a`, calling any function whose
+//!   transitive lock set contains `b` adds edge `a → b`. Call targets
+//!   resolve by bare name across the whole workspace (over-approximate
+//!   for same-named methods).
+//!
+//! Each distinct cycle produces one diagnostic, anchored at the witness
+//! site of its first edge.
+
+use super::{functions, is_ident, seq, stmt_start, t};
+use crate::{Diagnostic, Pass, SourceFile};
+use fusion_types::FxHashMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+const HINT: &str = "lock acquisition order forms a cycle across these call paths; acquire in \
+one global order (document it at the lock's definition) or collapse to a single lock";
+
+pub struct LockOrder;
+
+/// One acquisition or call event, in token order within a function.
+enum Event {
+    /// (node id, witness token index, guard outlives the statement)
+    Acquire(String, usize, bool),
+    /// Callee name.
+    Call(String),
+}
+
+struct FnInfo {
+    file: usize,
+    name: String,
+    events: Vec<Event>,
+}
+
+impl Pass for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "inter-procedural lock acquisition cycles (static deadlock detection)"
+    }
+
+    fn run(&self, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+        // 1. Collect per-function events and the callable-name table.
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            let prefix = node_prefix(&f.rel);
+            for item in functions(f) {
+                fns.push(FnInfo {
+                    file: fi,
+                    name: item.name,
+                    events: collect_events(f, &prefix, item.body_start, item.body_end),
+                });
+            }
+        }
+        let mut by_name: FxHashMap<&str, Vec<usize>> = FxHashMap::default();
+        for (i, info) in fns.iter().enumerate() {
+            by_name.entry(info.name.as_str()).or_default().push(i);
+        }
+
+        // 2. Transitive lock sets, to fixpoint.
+        let mut locks: Vec<BTreeSet<String>> = fns
+            .iter()
+            .map(|info| {
+                info.events
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Acquire(n, _, _) => Some(n.clone()),
+                        Event::Call(_) => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..fns.len() {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for e in &fns[i].events {
+                    if let Event::Call(name) = e {
+                        for &j in by_name.get(name.as_str()).into_iter().flatten() {
+                            for n in &locks[j] {
+                                if !locks[i].contains(n) {
+                                    add.insert(n.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    locks[i].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 3. Acquisition-order edges with first-witness sites.
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut witness: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+        for info in &fns {
+            let mut held: Vec<&str> = Vec::new();
+            for e in &info.events {
+                match e {
+                    Event::Acquire(node, site, binding) => {
+                        for a in &held {
+                            if *a != node.as_str() {
+                                add_edge(&mut adj, &mut witness, a, node, info.file, *site);
+                            }
+                        }
+                        if *binding && !held.contains(&node.as_str()) {
+                            held.push(node.as_str());
+                        }
+                    }
+                    Event::Call(name) => {
+                        for &j in by_name.get(name.as_str()).into_iter().flatten() {
+                            for b in &locks[j] {
+                                for a in &held {
+                                    if *a != b.as_str() {
+                                        // Witness at the caller's first
+                                        // acquisition of `a` is less useful
+                                        // than the call site; but events do
+                                        // not carry call sites — anchor at
+                                        // the held lock's own site instead.
+                                        if let Some(Event::Acquire(_, s, _)) =
+                                            info.events.iter().find(|ev| {
+                                                matches!(ev, Event::Acquire(n, _, _) if n.as_str() == *a)
+                                            })
+                                        {
+                                            add_edge(&mut adj, &mut witness, a, b, info.file, *s);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Cycle enumeration (each cycle once, rooted at its minimal
+        //    node) and diagnostics.
+        for cycle in find_cycles(&adj) {
+            let a = &cycle[0];
+            let b = &cycle[1 % cycle.len()];
+            let Some(&(fi, site)) = witness.get(&(a.clone(), b.clone())) else {
+                continue;
+            };
+            let f = &files[fi];
+            let line = f.tokens[site].line;
+            if !f.suppressed("lock-order", line) {
+                out.push(Diagnostic {
+                    rule: "lock-order",
+                    file: f.rel.clone(),
+                    line,
+                    col: f.tokens[site].col,
+                    snippet: format!("cycle: {} | {}", cycle.join(" -> "), f.line_text(line)),
+                    hint: HINT,
+                });
+            }
+        }
+    }
+}
+
+fn add_edge(
+    adj: &mut BTreeMap<String, BTreeSet<String>>,
+    witness: &mut BTreeMap<(String, String), (usize, usize)>,
+    a: &str,
+    b: &str,
+    file: usize,
+    site: usize,
+) {
+    adj.entry(a.to_string()).or_default().insert(b.to_string());
+    witness
+        .entry((a.to_string(), b.to_string()))
+        .or_insert((file, site));
+}
+
+/// `crates/core/src/journal.rs` → `core/journal`.
+fn node_prefix(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let krate = parts.get(1).copied().unwrap_or("?");
+    let stem = parts
+        .last()
+        .and_then(|p| p.strip_suffix(".rs"))
+        .unwrap_or("?");
+    format!("{}/{}", krate, stem)
+}
+
+/// Acquisition and call events in `[start, end]`, in token order.
+fn collect_events(f: &SourceFile, prefix: &str, start: usize, end: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    for i in start..=end.min(f.tokens.len().saturating_sub(1)) {
+        if f.in_test[i] {
+            continue;
+        }
+        // Acquire: `. lock ( )`.
+        if seq(f, i, &[".", "lock", "(", ")"]) {
+            if let Some(base) = receiver_base(f, i) {
+                let s = stmt_start(f, i);
+                let binding = (s..i).any(|k| t(f, k) == "let") || t(f, s) == "match";
+                events.push(Event::Acquire(
+                    format!("{}::{}", prefix, base),
+                    i + 1,
+                    binding,
+                ));
+            }
+            continue;
+        }
+        // Call: `name (` for a workspace fn; skip definitions (`fn name (`)
+        // and the `lock` ident of the acquire pattern itself.
+        if is_ident(f, i)
+            && t(f, i + 1) == "("
+            && t(f, i.wrapping_sub(1)) != "fn"
+            && !(t(f, i) == "lock" && t(f, i.wrapping_sub(1)) == ".")
+        {
+            events.push(Event::Call(t(f, i).to_string()));
+        }
+    }
+    events
+}
+
+/// Leftmost non-`self` field ident of the receiver chain ending at the
+/// `.` before `lock` — walks back over `.field` links and `[…]` index
+/// expressions.
+fn receiver_base(f: &SourceFile, dot: usize) -> Option<String> {
+    let mut q = dot; // token after the receiver's last segment
+    let mut base: Option<String> = None;
+    loop {
+        if q == 0 {
+            return base;
+        }
+        if t(f, q - 1) == "]" {
+            // Skip the index expression backward to its `[`.
+            let mut depth = 0i64;
+            let mut p = q - 1;
+            loop {
+                match t(f, p) {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if p == 0 {
+                    return base;
+                }
+                p -= 1;
+            }
+            q = p;
+            continue;
+        }
+        if q >= 1 && is_ident(f, q - 1) {
+            if t(f, q - 1) == "self" {
+                return base;
+            }
+            base = Some(t(f, q - 1).to_string());
+            if q >= 2 && t(f, q - 2) == "." {
+                q -= 2;
+                continue;
+            }
+            return base;
+        }
+        return base;
+    }
+}
+
+/// Every distinct cycle, rooted at (and rotated to) its lexicographically
+/// minimal node. DFS per root, traversing only nodes ≥ root.
+fn find_cycles(adj: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for root in adj.keys() {
+        let mut path: Vec<String> = vec![root.clone()];
+        dfs(adj, root, root, &mut path, &mut cycles, adj.len() + 1);
+    }
+    cycles.into_iter().collect()
+}
+
+fn dfs(
+    adj: &BTreeMap<String, BTreeSet<String>>,
+    root: &str,
+    at: &str,
+    path: &mut Vec<String>,
+    cycles: &mut BTreeSet<Vec<String>>,
+    fuel: usize,
+) {
+    if fuel == 0 {
+        return;
+    }
+    let Some(nexts) = adj.get(at) else { return };
+    for next in nexts {
+        if next == root {
+            cycles.insert(path.clone());
+        } else if next.as_str() > root && !path.contains(next) {
+            path.push(next.clone());
+            dfs(adj, root, next, path, cycles, fuel - 1);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_pass;
+    use super::*;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.into(), src.into())
+    }
+
+    #[test]
+    fn flags_opposite_order_cycle() {
+        let f = sf(
+            "crates/x/src/locks.rs",
+            "impl S {\n    fn ab(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n        drop((a, b));\n    }\n    fn ba(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n        drop((a, b));\n    }\n}\n",
+        );
+        let ds = run_pass(&LockOrder, &[f]);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].snippet.contains("x/locks::alpha -> x/locks::beta"));
+    }
+
+    #[test]
+    fn nested_same_order_is_acyclic() {
+        let f = sf(
+            "crates/x/src/locks.rs",
+            "impl S {\n    fn ab(&self) {\n        let a = self.alpha.lock();\n        let b = self.beta.lock();\n        drop((a, b));\n    }\n    fn also_ab(&self) {\n        let a = self.alpha.lock();\n        self.beta.lock().clear();\n    }\n}\n",
+        );
+        assert!(run_pass(&LockOrder, &[f]).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_calls() {
+        let f = sf(
+            "crates/x/src/locks.rs",
+            "impl S {\n    fn outer(&self) {\n        let a = self.alpha.lock();\n        self.helper();\n        drop(a);\n    }\n    fn helper(&self) {\n        self.beta.lock().clear();\n    }\n    fn reversed(&self) {\n        let b = self.beta.lock();\n        let a = self.alpha.lock();\n        drop((a, b));\n    }\n}\n",
+        );
+        let ds = run_pass(&LockOrder, &[f]);
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn temporaries_do_not_hold_and_indexed_receivers_resolve() {
+        let f = sf(
+            "crates/x/src/locks.rs",
+            "impl S {\n    fn a(&self) {\n        self.alpha.lock().push(1);\n        let b = self.beta.lock();\n        drop(b);\n    }\n    fn b(&self, slots: &[M]) {\n        let b = self.beta.lock();\n        let s = slots[self.idx].lock();\n        drop((b, s));\n    }\n    fn c(&self, slots: &[M]) {\n        let s = slots[0].lock();\n        let a = self.alpha.lock();\n        drop((s, a));\n    }\n}\n",
+        );
+        // alpha is a temporary in `a` (never held), so no alpha→beta edge;
+        // beta→slots (fn b) and slots→alpha (fn c) exist but close no cycle.
+        assert!(run_pass(&LockOrder, &[f]).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! The six invariant passes plus the token-stream helpers they share.
+//!
+//! Each pass is a [`Pass`] implementation over the whole workspace; the
+//! helpers here give them a common vocabulary: token-sequence matching,
+//! statement bounds, function extents, and integer-width lookup.
+
+mod cast_truncate;
+mod lock_order;
+mod nondet_iter;
+mod std_map;
+mod unwrap;
+mod wall_clock;
+
+use crate::{Diagnostic, Pass, SourceFile};
+
+/// Every pass, in registration order. Diagnostic output is sorted later,
+/// so this order only affects the `rules` listing.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(cast_truncate::CastTruncate),
+        Box::new(lock_order::LockOrder),
+        Box::new(nondet_iter::NondetIter),
+        Box::new(std_map::StdMap),
+        Box::new(unwrap::Unwrap),
+        Box::new(wall_clock::WallClock),
+    ]
+}
+
+/// Token text at `i`, or `""` past the end — lets matchers probe without
+/// bounds checks.
+pub(crate) fn t(f: &SourceFile, i: usize) -> &str {
+    if i < f.tokens.len() {
+        f.tok(i)
+    } else {
+        ""
+    }
+}
+
+/// Whether the token texts starting at `i` equal `pat` exactly.
+pub(crate) fn seq(f: &SourceFile, i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| t(f, i + k) == *p)
+}
+
+/// Builds a diagnostic anchored at token `i`.
+pub(crate) fn diag(f: &SourceFile, i: usize, rule: &'static str, hint: &'static str) -> Diagnostic {
+    let tok = &f.tokens[i];
+    Diagnostic {
+        rule,
+        file: f.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        snippet: f.line_text(tok.line).to_string(),
+        hint,
+    }
+}
+
+/// A `fn` item: name plus signature start (the `fn` token) and body
+/// token range (`{` … `}` inclusive).
+pub(crate) struct FnItem {
+    pub name: String,
+    pub sig_start: usize,
+    pub body_start: usize,
+    pub body_end: usize,
+}
+
+/// Every `fn` with a body in `f`, in token order. Bodiless trait methods
+/// are skipped. Nested fns are reported separately; their tokens also sit
+/// inside the enclosing fn's range (an over-approximation the passes
+/// accept).
+pub(crate) fn functions(f: &SourceFile) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let n = f.tokens.len();
+    let mut i = 0usize;
+    while i < n {
+        if t(f, i) == "fn" && f.tokens.get(i + 1).is_some() && is_ident(f, i + 1) {
+            let name = t(f, i + 1).to_string();
+            // Scan the signature for the body `{` at bracket depth 0; a
+            // `;` first means a bodiless declaration.
+            let mut depth = 0i64;
+            let mut j = i + 2;
+            let mut body = None;
+            while j < n {
+                match t(f, j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = matching_brace(f, open);
+                out.push(FnItem {
+                    name,
+                    sig_start: i,
+                    body_start: open,
+                    body_end: close,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (last token if unmatched).
+pub(crate) fn matching_brace(f: &SourceFile, open: usize) -> usize {
+    let mut depth = 0i64;
+    for j in open..f.tokens.len() {
+        match t(f, j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    f.tokens.len().saturating_sub(1)
+}
+
+/// First token of the statement containing `i`: walk backward to the
+/// nearest `;`, `{`, or `}` outside any bracket we entered from the end.
+pub(crate) fn stmt_start(f: &SourceFile, i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j > 0 {
+        let prev = t(f, j - 1);
+        match prev {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            ";" | "," if depth == 0 => return j,
+            _ => {}
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Last token of the statement containing `i`: walk forward to the
+/// nearest `;`, `,`, or closing brace at depth 0 (trailing closure and
+/// match bodies are inside brackets, so they are included).
+pub(crate) fn stmt_end(f: &SourceFile, i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < f.tokens.len() {
+        match t(f, j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j.saturating_sub(1).max(i);
+                }
+                depth -= 1;
+            }
+            ";" | "," if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    f.tokens.len().saturating_sub(1)
+}
+
+/// Bit width of a primitive integer type name, if it is one.
+pub(crate) fn int_width(name: &str) -> Option<u32> {
+    Some(match name {
+        "u8" | "i8" => 8,
+        "u16" | "i16" => 16,
+        "u32" | "i32" => 32,
+        "u64" | "i64" | "usize" | "isize" => 64,
+        "u128" | "i128" => 128,
+        _ => None?,
+    })
+}
+
+pub(crate) fn is_ident(f: &SourceFile, i: usize) -> bool {
+    f.tokens
+        .get(i)
+        .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+}
+
+#[cfg(test)]
+pub(crate) fn parse_one(src: &str) -> SourceFile {
+    SourceFile::parse("crates/x/src/lib.rs".into(), src.into())
+}
+
+#[cfg(test)]
+pub(crate) fn run_pass(pass: &dyn Pass, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    pass.run(files, &mut out);
+    // Apply per-site markers the way the driver does, so pass tests see
+    // the effective finding set.
+    out.retain(|d| {
+        files
+            .iter()
+            .find(|f| f.rel == d.file)
+            .is_none_or(|f| !f.suppressed(d.rule, d.line))
+    });
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_extents_and_brace_matching() {
+        let f =
+            parse_one("fn a() -> Vec<u32> { if x { y() } }\ntrait T { fn b(&self); }\nfn c() {}\n");
+        let fns = functions(&f);
+        let names: Vec<&str> = fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["a", "c"]);
+        assert_eq!(t(&f, fns[0].body_start), "{");
+        assert_eq!(t(&f, fns[0].body_end), "}");
+    }
+
+    #[test]
+    fn statement_bounds() {
+        let f = parse_one("fn a() { let x = m.iter().map(|v| { v + 1 }).sum(); other(); }");
+        let iter_tok = f
+            .tokens
+            .iter()
+            .position(|tk| &f.text[tk.start..tk.end] == "iter")
+            .expect("iter token");
+        let s = stmt_start(&f, iter_tok);
+        let e = stmt_end(&f, iter_tok);
+        assert_eq!(t(&f, s), "let");
+        assert_eq!(t(&f, e), ";");
+        let texts: Vec<&str> = (s..=e).map(|k| t(&f, k)).collect();
+        assert!(texts.contains(&"sum"));
+        assert!(!texts.contains(&"other"));
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(int_width("u8"), Some(8));
+        assert_eq!(int_width("usize"), Some(64));
+        assert_eq!(int_width("f64"), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! `std-map`: `std::collections::HashMap`/`HashSet` are banned in sim
+//! logic.
+//!
+//! Invariant (PR 2): every hash container in the workspace iterates in a
+//! deterministic, seed-stable order via `fusion_types::FxHashMap` /
+//! `FxHashSet`. A std map's randomized hasher makes iteration order vary
+//! run-to-run, which breaks golden-stats byte-identity the moment any
+//! iteration feeds output.
+//!
+//! Token-accurate matching: the path `std::collections::HashMap`, the
+//! braced import form `use std::collections::{…}`, and — once a non-test
+//! import is seen — bare `HashMap`/`HashSet` idents. String literals,
+//! comments, and `#[cfg(test)]` regions never match (the old substring
+//! lint needed `concat!` hacks for exactly this).
+
+use super::{diag, is_ident, seq, t};
+use crate::{Diagnostic, Pass, SourceFile};
+
+/// The aliases live here; it is allowed to name the std types.
+const EXEMPT: &str = "crates/types/src/hash.rs";
+
+const HINT: &str =
+    "use fusion_types::FxHashMap / FxHashSet: deterministic seed-stable iteration (PR 2)";
+
+pub struct StdMap;
+
+impl Pass for StdMap {
+    fn id(&self) -> &'static str {
+        "std-map"
+    }
+
+    fn description(&self) -> &'static str {
+        "std HashMap/HashSet banned in sim logic (randomized iteration order)"
+    }
+
+    fn run(&self, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+        for f in files {
+            if f.rel == EXEMPT {
+                continue;
+            }
+            let mut imported_map = false;
+            let mut imported_set = false;
+            let mut flagged: Vec<usize> = Vec::new();
+            // First sweep: path occurrences and imports.
+            for i in 0..f.tokens.len() {
+                if f.in_test[i] {
+                    continue;
+                }
+                if seq(f, i, &["std", "::", "collections", "::"]) {
+                    // Direct path or start of a braced import group.
+                    match t(f, i + 4) {
+                        "HashMap" | "HashSet" => {
+                            if t(f, i + 4) == "HashMap" {
+                                imported_map |= is_import(f, i);
+                            } else {
+                                imported_set |= is_import(f, i);
+                            }
+                            flagged.push(i + 4);
+                        }
+                        "{" => {
+                            let mut j = i + 5;
+                            while j < f.tokens.len() && t(f, j) != "}" {
+                                if t(f, j) == "HashMap" || t(f, j) == "HashSet" {
+                                    if t(f, j) == "HashMap" {
+                                        imported_map = true;
+                                    } else {
+                                        imported_set = true;
+                                    }
+                                    flagged.push(j);
+                                }
+                                j += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // Second sweep: bare uses of an imported name.
+            if imported_map || imported_set {
+                for i in 0..f.tokens.len() {
+                    if f.in_test[i] || !is_ident(f, i) {
+                        continue;
+                    }
+                    let name = t(f, i);
+                    let hit =
+                        (name == "HashMap" && imported_map) || (name == "HashSet" && imported_set);
+                    // Skip path-qualified occurrences already flagged above.
+                    if hit && t(f, i.wrapping_sub(1)) != "::" {
+                        flagged.push(i);
+                    }
+                }
+            }
+            flagged.sort_unstable();
+            flagged.dedup();
+            for i in flagged {
+                let line = f.tokens[i].line;
+                if !f.suppressed("std-map", line) {
+                    out.push(diag(f, i, "std-map", HINT));
+                }
+            }
+        }
+    }
+}
+
+/// Whether the `std` token at `i` sits in a `use` statement.
+fn is_import(f: &SourceFile, i: usize) -> bool {
+    let s = super::stmt_start(f, i);
+    t(f, s) == "use" || t(f, s) == "pub" && t(f, s + 1) == "use"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{parse_one, run_pass};
+    use super::*;
+
+    #[test]
+    fn flags_paths_imports_and_bare_uses() {
+        let f = parse_one(
+            "use std::collections::HashMap;\nfn a() { let m: HashMap<u32, u32> = HashMap::new(); }\nfn b(x: std::collections::HashSet<u8>) {}\n",
+        );
+        let ds = run_pass(&StdMap, &[f]);
+        // import + 2 bare uses + direct path = 4
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|d| d.rule == "std-map"));
+    }
+
+    #[test]
+    fn braced_import_group() {
+        let f = parse_one("use std::collections::{BTreeMap, HashSet};\nfn a() { let s = HashSet::new(); let b = BTreeMap::new(); }\n");
+        let ds = run_pass(&StdMap, &[f]);
+        assert_eq!(ds.len(), 2); // the import site + the bare use; BTreeMap fine
+    }
+
+    #[test]
+    fn strings_tests_markers_and_exempt_file() {
+        let f = parse_one(
+            "fn a() { let s = \"std::collections::HashMap\"; }\n#[cfg(test)]\nmod t { use std::collections::HashMap; }\n// lint:allow-std-map interop with external API\nfn b(m: std::collections::HashMap<u8, u8>) {}\n",
+        );
+        assert!(run_pass(&StdMap, &[f]).is_empty());
+        let exempt = SourceFile::parse(
+            EXEMPT.into(),
+            "pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;".into(),
+        );
+        assert!(run_pass(&StdMap, &[exempt]).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! `unwrap`: no `.unwrap()` / `.expect(…)` in library sim logic.
+//!
+//! Invariant: sweeps must degrade, not die. The durable-sweep work (PR 7)
+//! made panic-freedom load-bearing — a panicking worker poisons locks and
+//! aborts a multi-hour sweep that the journal could otherwise resume.
+//! Library code returns `Result` or uses an infallible alternative;
+//! binaries (`src/bin/*`, `src/main.rs`) are exempt because a CLI
+//! front-end aborting on startup is acceptable and often correct.
+//!
+//! Token accuracy: only the exact method idents `unwrap` / `expect`
+//! followed by `(` match — `.unwrap_or(…)`, `.unwrap_or_else(…)`, and
+//! occurrences inside strings or comments do not (the old substring lint
+//! had to assemble its own needle with `concat!` to avoid self-flagging).
+
+use super::{diag, seq, t};
+use crate::{Diagnostic, Pass, SourceFile};
+
+const HINT: &str =
+    "sim logic must not panic: return Result, or unwrap_or_else with a justified default";
+
+pub struct Unwrap;
+
+impl Pass for Unwrap {
+    fn id(&self) -> &'static str {
+        "unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        ".unwrap()/.expect() banned in library sim logic (panic kills resumable sweeps)"
+    }
+
+    fn run(&self, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+        for f in files {
+            if f.is_bin {
+                continue;
+            }
+            for i in 0..f.tokens.len() {
+                if f.in_test[i] || t(f, i) != "." {
+                    continue;
+                }
+                let hit = seq(f, i, &[".", "unwrap", "(", ")"]) || seq(f, i, &[".", "expect", "("]);
+                if hit && !f.suppressed("unwrap", f.tokens[i].line) {
+                    out.push(diag(f, i + 1, "unwrap", HINT));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{parse_one, run_pass};
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn flags_unwrap_and_expect_not_relatives() {
+        let f = parse_one(
+            "fn a(x: Option<u32>) -> u32 {\n    let v = x.unwrap();\n    let w = x.expect(\"must\");\n    x.unwrap_or(0) + x.unwrap_or_else(|| v + w)\n}\n",
+        );
+        let ds = run_pass(&Unwrap, &[f]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].line, 2);
+        assert_eq!(ds[1].line, 3);
+    }
+
+    #[test]
+    fn bins_tests_strings_and_markers_exempt() {
+        let b = SourceFile::parse(
+            "crates/x/src/bin/tool.rs".into(),
+            "fn main() { std::fs::read(\"f\").unwrap(); }".into(),
+        );
+        assert!(run_pass(&Unwrap, &[b]).is_empty());
+        let f = parse_one(
+            "#[test]\nfn t() { x.unwrap(); }\nfn a() { let s = \".unwrap()\"; }\n// lint:allow-unwrap write!-into-String is infallible\nfn b() { use std::fmt::Write; let mut s = String::new(); write!(s, \"x\").unwrap(); }\n",
+        );
+        assert!(run_pass(&Unwrap, &[f]).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Fixture corpus: one dirty + one clean source per rule (for
+//! `lock-order`, a cyclic and an acyclic lock graph). Dirty fixtures are
+//! pinned byte-for-byte against golden JSON reports under
+//! `tests/fixtures/golden/` — any drift in diagnostics, positions,
+//! snippets, hints, or the JSON shape itself fails here. Clean fixtures
+//! assert the pass's sanctioned idioms stay unflagged.
+//!
+//! Regenerate goldens after an intentional diagnostic change with
+//! `UPDATE_GOLDEN=1 cargo test -p fusion-analyze --test fixtures`.
+
+use fusion_analyze::SourceFile;
+
+/// (rule id, fixture dir, dirty file, clean file, expected dirty count).
+const CASES: [(&str, &str, &str, &str, usize); 6] = [
+    ("std-map", "std_map", "dirty.rs", "clean.rs", 6),
+    ("unwrap", "unwrap", "dirty.rs", "clean.rs", 3),
+    ("wall-clock", "wall_clock", "dirty.rs", "clean.rs", 3),
+    ("nondet-iter", "nondet_iter", "dirty.rs", "clean.rs", 2),
+    ("cast-truncate", "cast_truncate", "dirty.rs", "clean.rs", 3),
+    ("lock-order", "lock_order", "cycle.rs", "acyclic.rs", 1),
+];
+
+fn fixture(dir: &str, name: &str) -> SourceFile {
+    let path = format!("{}/tests/fixtures/{dir}/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    // Fixtures masquerade as library sources of a `fixture` crate so the
+    // bin/test/exempt-path carve-outs behave exactly as in the workspace.
+    SourceFile::parse(format!("crates/fixture/src/{name}"), text)
+}
+
+#[test]
+fn dirty_fixtures_match_goldens() {
+    for (rule, dir, dirty, _clean, expected) in CASES {
+        let report =
+            fusion_analyze::analyze_files(&[fixture(dir, dirty)], &[], Some(rule)).unwrap();
+        assert_eq!(
+            report.diagnostics.len(),
+            expected,
+            "{rule}: finding count drifted\n{}",
+            report.render_text()
+        );
+        assert!(!report.clean(), "{rule}: dirty fixture reported clean");
+        let got = report.render_json();
+        let golden_path = format!(
+            "{}/tests/fixtures/golden/{dir}.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("read {golden_path}: {e} (run with UPDATE_GOLDEN=1)"));
+        assert_eq!(got, want, "{rule}: JSON report drifted from golden");
+    }
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    for (rule, dir, _dirty, clean, _expected) in CASES {
+        let report =
+            fusion_analyze::analyze_files(&[fixture(dir, clean)], &[], Some(rule)).unwrap();
+        assert!(
+            report.clean(),
+            "{rule}: clean fixture flagged\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn whole_corpus_under_all_rules() {
+    // Every dirty fixture through every pass at once: counts must add up
+    // (no pass flags another rule's clean idioms in the dirty files is
+    // deliberately NOT asserted — only the total of the filtered runs).
+    let files: Vec<SourceFile> = CASES
+        .iter()
+        .map(|&(_, dir, dirty, _, _)| fixture(dir, dirty))
+        .collect();
+    let report = fusion_analyze::analyze_files(&files, &[], None).unwrap();
+    assert!(!report.clean());
+    let filtered_total: usize = CASES.iter().map(|c| c.4).sum();
+    assert!(
+        report.diagnostics.len() >= filtered_total,
+        "full run found {} < {} filtered findings",
+        report.diagnostics.len(),
+        filtered_total
+    );
+}

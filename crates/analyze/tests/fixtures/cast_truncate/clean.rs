@@ -1,0 +1,18 @@
+// Fixture: the sanctioned narrowing shapes — saturating conversions,
+// widening casts, same-width casts, and a justified marker.
+fn wall_ms(millis: u128) -> u64 {
+    u64::try_from(millis).unwrap_or(u64::MAX)
+}
+
+fn widen(n: u32) -> u64 {
+    n as u64
+}
+
+fn tag(v: &[u8]) -> u64 {
+    v.len() as u64
+}
+
+// lint:allow-cast-truncate — mlp is bounded by MAX_MLP < 256
+fn mlp_code(mlp: u64) -> u16 {
+    mlp as u16
+}

@@ -1,0 +1,25 @@
+// Fixture: the same locks acquired in one global order everywhere —
+// journal before cache — so the lock graph is acyclic.
+struct Engine {
+    journal: Mutex<Journal>,
+    cache: Mutex<Cache>,
+}
+
+impl Engine {
+    fn flush(&self) {
+        let j = self.journal.lock();
+        let c = self.cache.lock();
+        drop(c);
+        drop(j);
+    }
+
+    fn evict(&self) {
+        let j = self.journal.lock();
+        let c = self.cache.lock();
+        self.write_back(&j, &c);
+    }
+
+    fn write_back(&self, _j: &Journal, _c: &Cache) {
+        // pure: caller already holds both locks in order
+    }
+}

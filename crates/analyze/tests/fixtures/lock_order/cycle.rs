@@ -1,0 +1,27 @@
+// Fixture: a two-lock deadlock reachable only inter-procedurally —
+// `flush` holds journal then cache; `evict` holds cache while calling
+// `write_back`, which takes journal. cache -> journal -> cache.
+struct Engine {
+    journal: Mutex<Journal>,
+    cache: Mutex<Cache>,
+}
+
+impl Engine {
+    fn flush(&self) {
+        let j = self.journal.lock();
+        let c = self.cache.lock();
+        drop(c);
+        drop(j);
+    }
+
+    fn evict(&self) {
+        let c = self.cache.lock();
+        self.write_back();
+        drop(c);
+    }
+
+    fn write_back(&self) {
+        let j = self.journal.lock();
+        drop(j);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: Fx-container iteration feeding order-sensitive output.
+fn render(m: FxHashMap<u64, u64>, out: &mut Vec<u64>) {
+    for (&k, _) in &m {
+        out.push(k);
+    }
+    let vals: Vec<u64> = m.values().copied().collect();
+    out.extend(vals);
+}

@@ -1,0 +1,27 @@
+// Fixture: the sanctioned deterministic containers, plus the patterns
+// the pass must not confuse for violations.
+use fusion_types::{FxHashMap, FxHashSet};
+
+fn counts(xs: &[u64]) -> FxHashMap<u64, u32> {
+    let mut m = FxHashMap::default();
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let doc = "std::collections::HashMap"; // string literal, not a path
+    for &x in xs {
+        seen.insert(x);
+        *m.entry(x).or_insert(0) += 1;
+    }
+    drop(doc);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // test-only scaffolding is exempt
+
+    #[test]
+    fn std_ok_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: every unwrap shape the pass must tolerate — typed fallbacks,
+// test regions, string literals, and a justified inline marker.
+fn parse_pair(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once(',')?;
+    let a = a.parse::<u64>().ok()?;
+    let b = b.parse::<u64>().unwrap_or(0);
+    let doc = ".unwrap()"; // literal, not a call
+    drop(doc);
+    // lint:allow-unwrap — write!-into-String is infallible
+    render().unwrap();
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_ok_in_tests() {
+        assert_eq!(super::parse_pair("1,2").unwrap(), (1, 2));
+    }
+}

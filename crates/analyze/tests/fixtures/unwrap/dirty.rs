@@ -1,0 +1,7 @@
+// Fixture: panicking extractors in non-test library code.
+fn parse_pair(s: &str) -> (u64, u64) {
+    let (a, b) = s.split_once(',').unwrap();
+    let a = a.parse::<u64>().unwrap();
+    let b = b.parse::<u64>().expect("numeric rhs");
+    (a, b)
+}

@@ -1,0 +1,20 @@
+//! The workspace must lint clean with its own analyzer — the same
+//! invariant CI enforces via `sim lint`, pinned here so `cargo test`
+//! alone catches a regression (new unjustified unwrap, stray std map,
+//! wall-clock read, narrowing cast, unsorted iteration, lock cycle).
+
+#[test]
+fn workspace_lints_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let report = fusion_analyze::analyze(std::path::Path::new(&root), None)
+        .unwrap_or_else(|e| panic!("analyze failed: {e}"));
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    // The six passes and the migrated allowlist are actually in play.
+    assert_eq!(report.rules.len(), 6);
+    assert!(report.files > 50, "only {} files scanned", report.files);
+    assert!(report.allowlisted > 0, "allowlist entries should match");
+}

@@ -6,6 +6,7 @@
 use std::time::Instant;
 
 use fusion_accel::DecodedTrace;
+use fusion_core::result::duration_nanos_saturating;
 use fusion_core::runner::{run_system_decoded, SystemKind};
 use fusion_types::SystemConfig;
 use fusion_workloads::{build_suite, Scale, SuiteId};
@@ -146,7 +147,7 @@ fn main() {
             for _ in 0..iters {
                 let t = Instant::now();
                 let res = run_system_decoded(kind, &wl, &decoded, &cfg).expect("run");
-                let ns = t.elapsed().as_nanos() as u64;
+                let ns = duration_nanos_saturating(t.elapsed());
                 std::hint::black_box(res.total_cycles);
                 l2 = res.l2_accesses;
                 best = best.min(ns);

@@ -59,7 +59,10 @@ sim sweep   [--scale ...] [--threads <N>] [--tile-threads <N>] [--json] [--no-me
 [--journal <path>] [--resume] [robustness flags] [config flags]\n  \
 sim verify  [--protocol <acc|acc-dx|acc-renew|mesi|all>] [--agents <N>] [--blocks <N>]\n              \
 [--horizon <N>] [--fault <kind>@<event>] [--expect-violation]\n              \
-[--max-states <N>] [--json]\n\n\
+[--max-states <N>] [--json]\n  \
+sim lint    [--json] [--rule <id>]\n\n\
+lint rules: cast-truncate, lock-order, nondet-iter, std-map, unwrap, wall-clock\n  \
+(token-accurate determinism/robustness invariants over crates/*/src; DESIGN.md \u{a7}15)\n\n\
 verify fault kinds: lease-overrun, gtime-regression (ACC);\n  \
 empty-sharers, wrong-owner (MESI)\n\n\
 robustness flags (compare/sweep):\n  \
@@ -104,7 +107,8 @@ const FLAG_KEYS: [&str; 8] = [
     "expect-violation",
 ];
 /// Options that consume the next argument as their value.
-const VALUE_KEYS: [&str; 19] = [
+const VALUE_KEYS: [&str; 20] = [
+    "rule",
     "system",
     "suite",
     "scale",
@@ -808,6 +812,32 @@ fn verify_cmd(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// `sim lint [--json] [--rule <id>]`: run the fusion-analyze passes over
+/// the enclosing workspace. Exit contract matches the other subcommands:
+/// 0 clean, 1 findings (or stale allowlist entries), 2 usage/IO errors —
+/// including an unknown `--rule`.
+fn lint_cmd(args: &Args) -> Result<bool, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot determine cwd: {e}"))?;
+    // The workspace root is the nearest ancestor holding a `crates/`
+    // directory, so `sim lint` works from any subdirectory of a checkout.
+    let mut root = cwd.as_path();
+    let root = loop {
+        if root.join("crates").is_dir() {
+            break root;
+        }
+        root = root
+            .parent()
+            .ok_or_else(|| format!("no workspace root (crates/) above {}", cwd.display()))?;
+    };
+    let report = fusion_analyze::analyze(root, args.get("rule"))?;
+    if args.flag("json") {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.clean())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -887,6 +917,11 @@ fn main() -> ExitCode {
             }
         }
         "verify" => match verify_cmd(&args) {
+            Err(e) => return usage_error(&e),
+            Ok(false) => return ExitCode::from(EXIT_RUNTIME),
+            Ok(true) => {}
+        },
+        "lint" => match lint_cmd(&args) {
             Err(e) => return usage_error(&e),
             Ok(false) => return ExitCode::from(EXIT_RUNTIME),
             Ok(true) => {}
@@ -1104,6 +1139,8 @@ mod tests {
             "--no-memo",
             "--expect-violation",
             "--max-states",
+            "lint",
+            "--rule",
             "exit codes",
         ] {
             assert!(USAGE.contains(needle), "usage text missing '{needle}'");

@@ -1,8 +1,10 @@
 //! Exit-code and output contract of the `sim` binary's durability paths
-//! (`--journal` / `--resume`, DESIGN.md §14), exercised end-to-end
-//! against the real executable: 0 on full completion, 1 with a salvage
-//! report on partial completion, 2 on usage errors such as resuming
-//! against a journal from a different code version.
+//! (`--journal` / `--resume`, DESIGN.md §14) and the `sim lint` analyzer
+//! (DESIGN.md §15), exercised end-to-end against the real executable:
+//! 0 on full completion / a clean tree, 1 with a salvage report on
+//! partial completion or with diagnostics on lint findings, 2 on usage
+//! errors such as resuming against a journal from a different code
+//! version or filtering by an unknown lint rule.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -140,6 +142,68 @@ fn partial_sweep_exits_one_with_salvage_then_resume_completes() {
     assert_eq!(exit_code(&resumed), 0, "{}", stderr(&resumed));
     std::fs::remove_file(&wal).ok();
     std::fs::remove_file(&salvage_path).ok();
+}
+
+#[test]
+fn lint_clean_workspace_exits_zero() {
+    // Run against the real repository: the workspace must stay clean
+    // under its own analyzer (the same invariant CI enforces).
+    let out = sim(&["lint"]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "workspace lint regressed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 finding(s)"), "{text}");
+}
+
+#[test]
+fn lint_dirty_workspace_exits_one_with_json_diagnostics() {
+    // A scratch workspace with one violation per a few rules: findings
+    // must land as one-per-line JSON rows and flip the exit to 1.
+    let root = temp("lintws");
+    let src = root.join("crates").join("dirty").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::collections::HashMap;\nfn f(n: u64) -> u32 {\n    let m: HashMap<u64, u64> = HashMap::new();\n    drop(m);\n    n as u32\n}\n",
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sim"))
+        .args(["lint", "--json"])
+        .current_dir(&root)
+        .output()
+        .expect("sim binary must run");
+    assert_eq!(exit_code(&out), 1, "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\": 1"), "{text}");
+    assert!(text.contains("\"clean\": false"), "{text}");
+    assert!(text.contains("\"rule\": \"std-map\""), "{text}");
+    assert!(text.contains("\"rule\": \"cast-truncate\""), "{text}");
+    assert!(text.contains("crates/dirty/src/lib.rs"), "{text}");
+
+    // --rule narrows to one pass: the cast finding disappears.
+    let out = Command::new(env!("CARGO_BIN_EXE_sim"))
+        .args(["lint", "--json", "--rule", "std-map"])
+        .current_dir(&root)
+        .output()
+        .expect("sim binary must run");
+    assert_eq!(exit_code(&out), 1, "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rules\": [\"std-map\"]"), "{text}");
+    assert!(!text.contains("cast-truncate"), "{text}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lint_unknown_rule_is_a_usage_error() {
+    let out = sim(&["lint", "--rule", "bogus-rule"]);
+    assert_eq!(exit_code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown rule"), "{}", stderr(&out));
 }
 
 #[test]

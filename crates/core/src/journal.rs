@@ -492,7 +492,10 @@ fn decode_row(unsealed: &str) -> Result<JournalRow, String> {
             .ok_or("row missing code version")?
             .to_string(),
         trace_fingerprint: hex_field(head, "trace").ok_or("row missing trace fingerprint")?,
-        attempts: u64_field(head, "attempts").ok_or("row missing attempts")? as u32,
+        // Saturate rather than truncate: a corrupt attempts field must
+        // not alias onto a small plausible value.
+        attempts: u32::try_from(u64_field(head, "attempts").ok_or("row missing attempts")?)
+            .unwrap_or(u32::MAX),
         backoff: u64_field(head, "backoff").ok_or("row missing backoff")?,
         sim_events: u64_field(head, "sim_events").ok_or("row missing sim_events")?,
         refs: u64_field(head, "refs").ok_or("row missing refs")?,

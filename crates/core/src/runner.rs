@@ -232,6 +232,8 @@ pub fn run_system_guarded_memo(
     memo: Option<&crate::memo::MemoProbe<'_>>,
 ) -> Result<SimResult, SimError> {
     validate_config(cfg)?;
+    // lint:allow-wall-clock — measures wall_nanos for throughput reporting
+    // only; no simulated state ever reads this clock (DESIGN.md §15).
     let started = std::time::Instant::now();
     let mut res = match kind {
         SystemKind::Scratch => {

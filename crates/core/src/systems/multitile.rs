@@ -164,6 +164,20 @@ impl TileAgent for TilesView<'_> {
     }
 }
 
+/// Tile index → wire pid. Grids are bounded by the config's tile count
+/// (≤ 8 across the paper sweeps); the checked conversion saturates
+/// instead of wrapping so an oversized grid can never alias two tiles
+/// onto one pid.
+fn tile_pid(w: usize) -> Pid {
+    Pid::new(u32::try_from(w + 1).unwrap_or(u32::MAX))
+}
+
+/// Tile index → coherence agent id, same saturating contract as
+/// [`tile_pid`].
+fn tile_agent(w: usize) -> AgentId {
+    AgentId(u8::try_from(w + 1).unwrap_or(u8::MAX))
+}
+
 /// Replays tile `w`'s phase `phase_idx` between two arbitration points:
 /// private clock from `round_start`, private `host` copy, authoritative
 /// own-tile state, every host interaction logged for the merge.
@@ -178,8 +192,8 @@ fn replay_tile_phase(
     st: &mut PerTile,
     em: &EnergyModel,
 ) -> TileRound {
-    let pid = Pid::new(w as u32 + 1);
-    let agent = AgentId(w as u8 + 1);
+    let pid = tile_pid(w);
+    let agent = tile_agent(w);
     let phase = &wl.phases[phase_idx];
     let dp = decoded.phase(phase_idx);
     let mut ops: Vec<HostOp> = Vec::new();
@@ -513,8 +527,8 @@ impl MultiTileSystem {
             }
             let mut scratch = EnergyLedger::new();
             for (w, op) in SourceLogs::from_parts(logs).into_ordered() {
-                let pid = Pid::new(w as u32 + 1);
-                let agent = AgentId(w as u8 + 1);
+                let pid = tile_pid(w);
+                let agent = tile_agent(w);
                 match op {
                     HostOp::Access { block, kind, at } => {
                         host.host_access(
@@ -576,7 +590,7 @@ impl MultiTileSystem {
         // Flush every tile (authoritative — charges land on the tiles'
         // own ledgers, in tile-index order).
         for (w, st) in per.iter_mut().enumerate() {
-            let agent = AgentId(w as u8 + 1);
+            let agent = tile_agent(w);
             for ev in st.tile.flush_all(now) {
                 if let Some(pa) =
                     host.tile_eviction_as(agent, ev.pid, ev.block, ev.dirty, &mut st.ledger)

@@ -116,6 +116,33 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// Drop-in `HashSet` with the deterministic [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// Snapshots a map's entries in ascending key order.
+///
+/// The sanctioned way to walk an [`FxHashMap`] when the consumer is
+/// order-sensitive (rendering, digesting, replay): hash-map iteration
+/// order is an implementation detail even with a fixed seed, so any
+/// ordered output must pass through an explicit sort. The `nondet-iter`
+/// lint pass recognizes this helper (and [`sorted_keys`]) as a sanctioned
+/// consumer.
+pub fn sorted_entries<K: Ord + Clone, V: Clone, S>(map: &HashMap<K, V, S>) -> Vec<(K, V)> {
+    let mut v: Vec<(K, V)> = map
+        .iter()
+        .map(|(k, val)| (k.clone(), val.clone()))
+        .collect();
+    v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+/// Snapshots a set's elements in ascending order.
+///
+/// Companion to [`sorted_entries`] for [`FxHashSet`]; see that helper
+/// for when an explicit sort is required.
+pub fn sorted_keys<T: Ord + Clone, S>(set: &HashSet<T, S>) -> Vec<T> {
+    let mut v: Vec<T> = set.iter().cloned().collect();
+    v.sort_unstable();
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +220,20 @@ mod tests {
         assert!(s.insert(5));
         assert!(!s.insert(5));
         assert!(s.contains(&5));
+    }
+
+    #[test]
+    fn sorted_snapshots_are_key_ordered() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for (k, v) in [(9u64, "i"), (1, "a"), (4, "d")] {
+            m.insert(k, v);
+        }
+        assert_eq!(sorted_entries(&m), vec![(1, "a"), (4, "d"), (9, "i")]);
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for k in [7u32, 2, 5, 2] {
+            s.insert(k);
+        }
+        assert_eq!(sorted_keys(&s), vec![2, 5, 7]);
     }
 }

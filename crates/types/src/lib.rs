@@ -29,7 +29,7 @@ pub use addr::{BlockAddr, PhysAddr, VirtAddr, CACHE_BLOCK_BYTES, PAGE_BYTES};
 pub use config::{CacheGeometry, LinkConfig, SystemConfig, WritePolicy};
 pub use error::{DegradeLevel, Degraded, InvariantViolation, JournalError, SimError, TimeoutKind};
 pub use fault::{CheckerConfig, ProtocolFault, ProtocolFaultKind};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{sorted_entries, sorted_keys, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AxcId, Pid};
 pub use units::{Bytes, Cycle, Flits, PicoJoules, FLIT_BYTES};
 

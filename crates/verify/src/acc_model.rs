@@ -667,7 +667,9 @@ impl Model for AccModel {
 
     fn actions(&self, _state: &AccState, out: &mut Vec<AccAction>) {
         out.push(AccAction::Tick);
-        for agent in 0..self.cfg.agents as u16 {
+        // Checked: agent counts are tiny model parameters, but a wrap
+        // here would silently shrink the explored action space.
+        for agent in 0..u16::try_from(self.cfg.agents).unwrap_or(u16::MAX) {
             for block in 0..self.cfg.blocks {
                 for &lease in &self.cfg.leases {
                     for write in [false, true] {

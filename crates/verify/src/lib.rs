@@ -173,6 +173,8 @@ impl VerifyReport {
 
 fn run_one(proto: VerifyProtocol, spec: &VerifySpec) -> ProtocolReport {
     let fault = spec.fault.filter(|f| fault_matches_protocol(f.kind, proto));
+    // lint:allow-wall-clock — exploration wall time is reported to the
+    // operator only; verdicts depend solely on the explored state space.
     let start = Instant::now();
     let exploration = if proto.is_acc() {
         let mut cfg = if proto == VerifyProtocol::Acc {

@@ -103,6 +103,13 @@ impl fmt::Display for MesiAction {
     }
 }
 
+/// Narrows a block index to the `u8` LRU tag. Block counts are tiny
+/// model parameters (1-2), but saturating keeps an oversized config from
+/// silently aliasing two blocks onto one LRU slot.
+fn lru_tag(block: usize) -> u8 {
+    u8::try_from(block).unwrap_or(u8::MAX)
+}
+
 /// The MESI model: drives [`fusion_coherence::transition`] over
 /// [`MesiState`].
 pub struct MesiModel {
@@ -152,7 +159,7 @@ impl MesiModel {
             Some(state) => {
                 // LRU touch.
                 st.lru.retain(|&b| b as usize != block);
-                st.lru.insert(0, block as u8);
+                st.lru.insert(0, lru_tag(block));
                 state
             }
             None => {
@@ -170,7 +177,7 @@ impl MesiModel {
                         st.l2[victim] = None;
                     }
                 }
-                st.lru.insert(0, block as u8);
+                st.lru.insert(0, lru_tag(block));
                 st.l2[block] = Some(DirState::Idle);
                 DirState::Idle
             }
@@ -224,7 +231,9 @@ impl Model for MesiModel {
     }
 
     fn actions(&self, _state: &MesiState, out: &mut Vec<MesiAction>) {
-        for agent in 0..self.cfg.agents as u8 {
+        // Checked: agent counts are tiny model parameters, but a wrap
+        // here would silently shrink the explored action space.
+        for agent in 0..u8::try_from(self.cfg.agents).unwrap_or(u8::MAX) {
             for block in 0..self.cfg.blocks {
                 for exclusive in [false, true] {
                     out.push(MesiAction::Request {

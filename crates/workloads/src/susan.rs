@@ -96,7 +96,14 @@ pub fn build(scale: Scale) -> Workload {
                 (-1, 1),
                 (1, -1),
             ] {
-                let p = px(&img, w, (x as i32 + dx) as usize, (y as i32 + dy) as usize);
+                // Interior pixels only (1..w-1 / 1..h-1), so the signed
+                // offset never underflows; add in usize to avoid casts.
+                let p = px(
+                    &img,
+                    w,
+                    x.wrapping_add_signed(dx as isize),
+                    y.wrapping_add_signed(dy as isize),
+                );
                 rec.int_ops(4);
                 usan += lut.get((p - c + 256).clamp(0, 511) as usize);
             }
@@ -117,8 +124,8 @@ pub fn build(scale: Scale) -> Workload {
                 let p = px(
                     &smooth_img,
                     w,
-                    (x as i32 + dx) as usize,
-                    (y as i32 + dy) as usize,
+                    x.wrapping_add_signed(dx as isize),
+                    y.wrapping_add_signed(dy as isize),
                 );
                 rec.int_ops(4);
                 usan += lut.get((p - c + 256).clamp(0, 511) as usize);
